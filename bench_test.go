@@ -1,0 +1,139 @@
+package opsched
+
+// The bench harness regenerates every table and figure of the paper's
+// evaluation. Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the full experiment per iteration; the rendered
+// reports (the paper-style tables) come from cmd/opsched-bench, which runs
+// the same code paths and prints them.
+
+import (
+	"testing"
+
+	"opsched/internal/experiments"
+	"opsched/internal/hw"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	m := hw.NewKNL()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(name, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 sweeps the three convolution kernels over thread counts
+// (Figure 1: interior optima at 26/36/45 threads).
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, experiments.NameFigure1) }
+
+// BenchmarkTable1 runs ResNet-50 and DCGAN under the 3x3 inter/intra grid
+// (Table I: 2/34 wins, 136-thread rows collapse).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, experiments.NameTable1) }
+
+// BenchmarkTable2 sweeps the convolutions across input sizes (Table II:
+// the optimal thread count grows with the input).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, experiments.NameTable2) }
+
+// BenchmarkTable3 co-runs CBF+CBI three ways (Table III: thread-control
+// co-run 1.38x, hyper-threading 1.03x).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, experiments.NameTable3) }
+
+// BenchmarkTable4 trains the five regression models on noisy counter
+// features (Table IV: accuracy too low to drive scheduling). A reduced
+// configuration keeps the bench tractable; cmd/opsched-bench runs the full
+// version.
+func BenchmarkTable4(b *testing.B) {
+	m := hw.NewKNL()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(m, &experiments.Table4Options{
+			SampleCounts:    []int{1, 4},
+			TargetCases:     4,
+			MaxTrainClasses: 150,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5 evaluates the hill-climbing model at x = 2,4,8,16 on all
+// four workloads (Table V: accuracy collapses with the interval).
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, experiments.NameTable5) }
+
+// BenchmarkFigure3 runs the full strategy ablation plus the manual-
+// optimization grid on all four workloads (Figure 3: ours 1.17-1.49x).
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, experiments.NameFigure3) }
+
+// BenchmarkTable6 aggregates the top-5 operation kinds per model under the
+// recommendation and Strategies 1+2 (Table VI).
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, experiments.NameTable6) }
+
+// BenchmarkFigure4 records co-running counts per scheduling event with and
+// without Strategy 4 (Figure 4).
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, experiments.NameFigure4) }
+
+// BenchmarkFigure5 sweeps GPU launch configurations (Figure 5).
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, experiments.NameFigure5) }
+
+// BenchmarkTable7 co-runs GPU kernels on two streams (Table VII:
+// 1.75-1.91x over serial).
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, experiments.NameTable7) }
+
+// BenchmarkRuntimeScheduling measures the scheduling runtime itself — one
+// full ResNet-50 step under all four strategies, including hill-climb
+// profiling — the overhead the paper bounds below 1%.
+func BenchmarkRuntimeScheduling(b *testing.B) {
+	m := hw.NewKNL()
+	model := MustBuild(ResNet50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainStep(model, m, AllStrategies()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineExecution measures the discrete-event engine on the
+// recommendation baseline.
+func BenchmarkBaselineExecution(b *testing.B) {
+	m := hw.NewKNL()
+	model := MustBuild(InceptionV3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BaselineStep(model, m, 1, m.Cores); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHillClimbProfiling measures the profiling cost per operation
+// class at the paper's recommended interval x=4.
+func BenchmarkHillClimbProfiling(b *testing.B) {
+	m := hw.NewKNL()
+	model := MustBuild(DCGAN)
+	rt := NewRuntime(m, AllStrategies())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Profile(model.Graph); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphConstruction measures workload graph building.
+func BenchmarkGraphConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if MustBuild(InceptionV3).Graph.Len() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}

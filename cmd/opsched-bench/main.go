@@ -1,0 +1,47 @@
+// Command opsched-bench regenerates the paper's evaluation: every table
+// and figure, or a selected subset.
+//
+// Usage:
+//
+//	opsched-bench            # run everything in paper order
+//	opsched-bench -exp fig3  # one experiment
+//	opsched-bench -list      # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"opsched"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (empty = all); see -list")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(opsched.Experiments(), "\n"))
+		return
+	}
+
+	names := opsched.Experiments()
+	if *exp != "" {
+		names = []string{*exp}
+	}
+
+	m := opsched.NewKNL()
+	fmt.Printf("machine: %v\n\n", m)
+	for _, name := range names {
+		start := time.Now()
+		out, err := opsched.RunExperiment(name, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+}

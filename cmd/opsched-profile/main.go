@@ -1,0 +1,64 @@
+// Command opsched-profile dumps time-vs-threads curves for standalone
+// operations — the data behind Figure 1 — and the hill-climbing model's
+// view of them.
+//
+// Usage:
+//
+//	opsched-profile                         # the paper's convolution trio
+//	opsched-profile -op Conv2D -n 32 -hw 8 -c 384 -cout 384 -k 3
+//	opsched-profile -interval 2             # climb step
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opsched/internal/hw"
+	"opsched/internal/op"
+	"opsched/internal/perfmodel"
+)
+
+func main() {
+	kind := flag.String("op", "", "operation kind (empty = Figure 1 trio)")
+	n := flag.Int("n", 32, "batch size")
+	spatial := flag.Int("hw", 8, "spatial height=width")
+	cin := flag.Int("c", 384, "input channels")
+	cout := flag.Int("cout", 384, "output channels")
+	k := flag.Int("k", 3, "kernel size")
+	interval := flag.Int("interval", 4, "hill-climb interval x")
+	flag.Parse()
+
+	m := hw.NewKNL()
+	var ops []*op.Op
+	if *kind == "" {
+		for _, kd := range []op.Kind{op.Conv2DBackpropFilter, op.Conv2DBackpropInput, op.Conv2D} {
+			ops = append(ops, op.Conv(kd, *n, *spatial, *spatial, *cin, *k, *cout, 1))
+		}
+	} else {
+		o := op.Conv(op.Kind(*kind), *n, *spatial, *spatial, *cin, *k, *cout, 1)
+		if err := o.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "opsched-profile: %v\n", err)
+			os.Exit(1)
+		}
+		ops = append(ops, o)
+	}
+
+	for _, o := range ops {
+		cost := o.Cost()
+		fmt.Printf("%s\n  threads  spread(ms)  shared(ms)\n", o.Signature())
+		for p := 1; p <= m.Cores; p += 4 {
+			spread := m.SoloTime(cost, p, hw.Spread) / 1e6
+			shared := m.SoloTime(cost, p, hw.Shared) / 1e6
+			fmt.Printf("  %7d  %10.3f  %10.3f\n", p, spread, shared)
+		}
+		best, pl, t := m.BestThreads(cost, m.Cores, hw.Solo())
+		fmt.Printf("  ground truth optimum: %d threads (%v), %.3f ms\n", best, pl, t/1e6)
+
+		climb := &perfmodel.HillClimb{Machine: m, Interval: *interval}
+		pr := climb.Search(o.Signature(), perfmodel.MachineTime(m, cost))
+		acc := perfmodel.Accuracy(pr, perfmodel.MachineTime(m, cost), m)
+		fmt.Printf("  hill climb (x=%d): %v, %d profiling steps, %.1f%% interpolation accuracy\n\n",
+			*interval, pr.Best, pr.StepsUsed, acc*100)
+	}
+}

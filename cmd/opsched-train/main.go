@@ -1,0 +1,67 @@
+// Command opsched-train simulates training steps of one of the paper's
+// four workloads under a chosen scheduler and reports the step time.
+//
+// Usage:
+//
+//	opsched-train -model ResNet-50 -sched ours
+//	opsched-train -model LSTM -sched baseline -inter 2 -intra 34
+//	opsched-train -model DCGAN -sched manual
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opsched"
+)
+
+func main() {
+	modelName := flag.String("model", opsched.ResNet50, "workload: ResNet-50, DCGAN, Inception-v3, LSTM")
+	sched := flag.String("sched", "ours", "scheduler: ours | s12 | s123 | baseline | manual")
+	inter := flag.Int("inter", 1, "baseline inter-op parallelism")
+	intra := flag.Int("intra", 68, "baseline intra-op parallelism")
+	steps := flag.Int("steps", 1, "training steps to simulate")
+	flag.Parse()
+
+	model, err := opsched.Build(*modelName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opsched-train: %v\n", err)
+		os.Exit(1)
+	}
+	m := opsched.NewKNL()
+	fmt.Println(model.Summary())
+
+	run := func() (*opsched.Result, error) {
+		switch *sched {
+		case "ours":
+			return opsched.TrainStep(model, m, opsched.AllStrategies())
+		case "s12":
+			return opsched.TrainStep(model, m, opsched.Strategies12())
+		case "s123":
+			return opsched.TrainStep(model, m, opsched.Strategies123())
+		case "baseline":
+			return opsched.BaselineStep(model, m, *inter, *intra)
+		case "manual":
+			cfg, res, err := opsched.ManualOptimize(model, m)
+			if err == nil {
+				fmt.Printf("manual optimization chose %s\n", cfg)
+			}
+			return res, err
+		default:
+			return nil, fmt.Errorf("unknown scheduler %q", *sched)
+		}
+	}
+
+	total := 0.0
+	for s := 0; s < *steps; s++ {
+		res, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opsched-train: %v\n", err)
+			os.Exit(1)
+		}
+		total += res.StepTimeNs
+		fmt.Printf("step %d (%s): %.1f ms, %d ops\n", s+1, res.Scheduler, res.StepTimeNs/1e6, len(res.Records))
+	}
+	fmt.Printf("mean step time: %.1f ms\n", total/float64(*steps)/1e6)
+}

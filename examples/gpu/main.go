@@ -1,0 +1,32 @@
+// GPU: the paper's Section VII preliminary study on a Tesla P100 — the
+// two-dimensional intra-op parallelism space (threads per block x thread
+// blocks) and co-running kernels on two CUDA streams.
+package main
+
+import (
+	"fmt"
+
+	"opsched/internal/gpu"
+)
+
+func main() {
+	device := gpu.NewP100()
+
+	fmt.Println("intra-op parallelism on GPU (BiasAdd):")
+	k, _ := gpu.Lookup("BiasAdd")
+	def := device.DefaultTime(k)
+	fmt.Printf("  TensorFlow default (%d blocks x %d threads): %.3f ms\n",
+		device.DefaultBlocks, device.DefaultTPB, def/1e6)
+	blocks, tpb, best := device.BestConfig(k, gpu.BlockGrid(), gpu.TPBGrid())
+	fmt.Printf("  best of the sweep  (%d blocks x %d threads): %.3f ms (%.1f%% faster)\n",
+		blocks, tpb, best/1e6, (def/best-1)*100)
+
+	fmt.Println("\nco-running two instances per kernel on two CUDA streams:")
+	for _, k := range gpu.Catalog() {
+		serial := device.SerialTime(k, k, device.DefaultBlocks, device.DefaultTPB)
+		corun := device.CoRunTime(k, k, device.DefaultBlocks, device.DefaultTPB)
+		fmt.Printf("  %-22s serial %.3f ms, co-run %.3f ms, speedup %.2fx\n",
+			k.Name, serial/1e6, corun/1e6, serial/corun)
+	}
+	fmt.Println("(paper: co-run speedups 1.75-1.91x)")
+}

@@ -1,0 +1,240 @@
+// Package cluster implements the paper's §V discussion — running the
+// runtime across multiple KNL nodes — as a simulation. The paper argues
+// (without evaluating; it is stated future work) that
+//
+//   - under data parallelism the model is replicated and each node runs
+//     the unchanged runtime on its own shard, plus a gradient allreduce;
+//   - under model parallelism the operation graph is partitioned across
+//     nodes, so each node sees fewer ready operations — fewer co-run
+//     opportunities — while intra-op concurrency control is unaffected.
+//
+// Both claims are testable here: the data-parallel step time is the
+// single-node step (at the shard batch size) plus communication, and the
+// model-parallel per-node co-run averages drop measurably.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"opsched/internal/core"
+	"opsched/internal/exec"
+	"opsched/internal/graph"
+	"opsched/internal/hw"
+	"opsched/internal/nn"
+	"opsched/internal/op"
+	"opsched/internal/trace"
+)
+
+// Interconnect models the fabric between KNL nodes (e.g. the Aries network
+// of Cori, where the paper's machines live).
+type Interconnect struct {
+	// BWBytesNs is the per-node injection bandwidth in bytes/ns.
+	BWBytesNs float64
+	// LatencyNs is the per-message latency.
+	LatencyNs float64
+}
+
+// NewAries returns a Cray-Aries-like interconnect (~10 GB/s per node,
+// ~1.5 µs latency).
+func NewAries() *Interconnect {
+	return &Interconnect{BWBytesNs: 10, LatencyNs: 1500}
+}
+
+// AllReduceNs estimates a ring allreduce of payload bytes over n nodes:
+// 2(n-1)/n payload transfers plus 2(n-1) latency hops.
+func (ic *Interconnect) AllReduceNs(payloadBytes float64, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	fn := float64(n)
+	transfer := 2 * (fn - 1) / fn * payloadBytes / ic.BWBytesNs
+	return transfer + 2*(fn-1)*ic.LatencyNs
+}
+
+// DataParallelResult summarizes one data-parallel training step.
+type DataParallelResult struct {
+	Nodes        int
+	ComputeNs    float64 // per-node step time on the batch shard
+	AllReduceNs  float64 // gradient synchronization
+	StepTimeNs   float64 // compute + communication
+	GradMB       float64 // allreduced payload
+	ScalingEff   float64 // ideal-time / (n * achieved-time-per-sample) style efficiency
+	SingleNodeNs float64 // full-batch single-node reference
+}
+
+// DataParallel simulates one data-parallel step of the named workload over
+// n nodes: the global batch is sharded, each node runs the unchanged
+// runtime on its shard, and gradients are allreduced. buildAt must
+// construct the workload at a given batch size (nn.BuildResNet50 etc.).
+func DataParallel(buildAt func(batch int) *nn.Model, globalBatch, n int, m *hw.Machine, ic *Interconnect, cfg core.Config) (*DataParallelResult, error) {
+	if n <= 0 {
+		return nil, errors.New("cluster: need at least one node")
+	}
+	if m == nil {
+		m = hw.NewKNL()
+	}
+	if ic == nil {
+		ic = NewAries()
+	}
+	shard := globalBatch / n
+	if shard < 1 {
+		return nil, fmt.Errorf("cluster: global batch %d cannot shard over %d nodes", globalBatch, n)
+	}
+
+	single := buildAt(globalBatch)
+	rt := core.New(m, cfg)
+	ref, err := rt.RunStep(single.Graph, exec.Options{Machine: m})
+	if err != nil {
+		return nil, err
+	}
+
+	model := buildAt(shard)
+	rtn := core.New(m, cfg)
+	res, err := rtn.RunStep(model.Graph, exec.Options{Machine: m})
+	if err != nil {
+		return nil, err
+	}
+
+	grad := gradientBytes(model.Graph)
+	comm := ic.AllReduceNs(grad, n)
+	step := res.StepTimeNs + comm
+
+	eff := 0.0
+	if step > 0 {
+		eff = ref.StepTimeNs / (float64(n) * step)
+	}
+	return &DataParallelResult{
+		Nodes: n, ComputeNs: res.StepTimeNs, AllReduceNs: comm,
+		StepTimeNs: step, GradMB: grad / 1e6,
+		ScalingEff: eff, SingleNodeNs: ref.StepTimeNs,
+	}, nil
+}
+
+// gradientBytes sums the parameter-tensor sizes receiving optimizer
+// updates — the allreduce payload.
+func gradientBytes(g *graph.Graph) float64 {
+	total := 0.0
+	for _, node := range g.Nodes() {
+		switch node.Op.Kind {
+		case "ApplyAdam", "ApplyGradientDescent":
+			total += node.Op.Input.Bytes()
+		}
+	}
+	return total
+}
+
+// ModelParallelResult summarizes a model-parallel step.
+type ModelParallelResult struct {
+	Nodes int
+	// PerNodeStepNs is each partition's step time run alone on its node.
+	PerNodeStepNs []float64
+	// StepTimeNs approximates the pipeline-less makespan: the partitions
+	// execute in dependency order across nodes plus activation transfers.
+	StepTimeNs float64
+	// AvgCoRunning is each partition's average co-running operations —
+	// the paper's claim: "the number of operations available for
+	// scheduling is smaller ... less opportunities to co-run operations".
+	AvgCoRunning []float64
+	// WholeCoRunning is the unpartitioned reference average.
+	WholeCoRunning float64
+}
+
+// ModelParallel partitions the workload's step graph into n contiguous
+// layer ranges (the usual pipeline split), runs each partition under its
+// own runtime on its own node, and reports per-partition co-run averages
+// against the unpartitioned baseline.
+func ModelParallel(model *nn.Model, n int, m *hw.Machine, ic *Interconnect, cfg core.Config) (*ModelParallelResult, error) {
+	if n <= 1 {
+		return nil, errors.New("cluster: model parallelism needs at least two nodes")
+	}
+	if m == nil {
+		m = hw.NewKNL()
+	}
+	if ic == nil {
+		ic = NewAries()
+	}
+
+	rt := core.New(m, cfg)
+	whole, err := rt.RunStep(model.Graph, exec.Options{Machine: m, Trace: true})
+	if err != nil {
+		return nil, err
+	}
+
+	parts, err := partition(model.Graph, n)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ModelParallelResult{
+		Nodes:          n,
+		WholeCoRunning: trace.AvgCoRunning(whole.Trace.Events()),
+	}
+	total := 0.0
+	for _, p := range parts {
+		prt := core.New(m, cfg)
+		r, err := prt.RunStep(p, exec.Options{Machine: m, Trace: true})
+		if err != nil {
+			return nil, err
+		}
+		res.PerNodeStepNs = append(res.PerNodeStepNs, r.StepTimeNs)
+		res.AvgCoRunning = append(res.AvgCoRunning, trace.AvgCoRunning(r.Trace.Events()))
+		total += r.StepTimeNs
+	}
+	// Activation handoff between adjacent partitions (very rough: one
+	// boundary tensor per cut, both directions for forward+backward).
+	res.StepTimeNs = total + 2*float64(n-1)*ic.LatencyNs + float64(n-1)*boundaryBytes(model)/ic.BWBytesNs
+	return res, nil
+}
+
+// partition splits the graph's nodes into n contiguous ID ranges and
+// rebuilds each range as a standalone graph. Edges crossing a cut are
+// re-rooted at a single ingress node per partition — a pipeline stage
+// starts when its activations arrive, it does not gain spurious
+// parallelism from severed dependencies.
+func partition(g *graph.Graph, n int) ([]*graph.Graph, error) {
+	if n > g.Len() {
+		return nil, fmt.Errorf("cluster: %d partitions for %d nodes", n, g.Len())
+	}
+	size := (g.Len() + n - 1) / n
+	var parts []*graph.Graph
+	for start := 0; start < g.Len(); start += size {
+		end := start + size
+		if end > g.Len() {
+			end = g.Len()
+		}
+		pg := graph.New(fmt.Sprintf("%s/part%d", g.Name, len(parts)))
+		ingress := pg.Add(&op.Op{Kind: op.Reshape, Input: op.Dims{1}}, "recv_activations")
+		offset := graph.NodeID(int(ingress) + 1 - start)
+		for id := start; id < end; id++ {
+			node := g.Node(graph.NodeID(id))
+			var deps []graph.NodeID
+			crossCut := len(node.Deps()) == 0 && start > 0
+			for _, d := range node.Deps() {
+				if int(d) >= start && int(d) < end {
+					deps = append(deps, d+offset)
+				} else {
+					crossCut = true
+				}
+			}
+			if crossCut || len(deps) == 0 {
+				deps = append(deps, ingress)
+			}
+			pg.Add(node.Op, node.Name, deps...)
+		}
+		parts = append(parts, pg)
+	}
+	return parts, nil
+}
+
+// boundaryBytes approximates the activation payload crossing one cut: the
+// largest activation tensor in the graph.
+func boundaryBytes(model *nn.Model) float64 {
+	max := 0.0
+	for _, node := range model.Graph.Nodes() {
+		if b := node.Op.Input.Bytes(); b > max {
+			max = b
+		}
+	}
+	return max
+}

@@ -1,0 +1,97 @@
+// Package core implements the paper's contribution: a concurrency-control
+// and operation-scheduling runtime for dataflow-based NN training. After a
+// few profiling steps drive a hill-climbing performance model (package
+// perfmodel), the runtime decides the intra-op parallelism of every
+// operation and which operations to co-run, through four strategies:
+//
+//	S1 — run each operation class at the thread count with the shortest
+//	     predicted execution time;
+//	S2 — avoid frequent concurrency changes: every instance of an
+//	     operation kind uses the thread count tuned for the kind's
+//	     largest-input instance;
+//	S3 — co-run ready operations into idle cores, choosing among each
+//	     operation's top-3 thread-count candidates the fitting one that
+//	     does not lower system throughput (predicted time no longer than
+//	     the longest-running ongoing operation), preferring fewer threads
+//	     so more operations can join;
+//	S4 — when a scalable operation holds every physical core, co-run the
+//	     smallest ready operations on the second hardware thread
+//	     (hyper-threading).
+//
+// The runtime plugs into the exec engine as a Scheduler; disabling
+// strategies reproduces the ablation of the paper's Figure 3.
+package core
+
+// Config selects the active strategies and their empirical constants.
+type Config struct {
+	// Strategy1 enables per-class optimal intra-op parallelism.
+	Strategy1 bool
+	// Strategy2 freezes each kind to its largest-instance optimum.
+	// It implies Strategy1's profiling.
+	Strategy2 bool
+	// Strategy3 enables co-running into idle cores.
+	Strategy3 bool
+	// Strategy4 enables hyper-threading co-run of small operations.
+	Strategy4 bool
+
+	// Interval is the hill-climbing step x; zero means 4 (the paper's
+	// accuracy/overhead sweet spot, 94-95% prediction accuracy).
+	Interval int
+	// Candidates is the number of thread-count candidates Strategy 3
+	// considers per operation; zero means the paper's empirical 3.
+	Candidates int
+	// MaxThreadDelta is the Strategy-2/3 conflict bound: if the co-run
+	// candidate differs from the Strategy-2 choice by more than this many
+	// threads, the Strategy-2 choice wins. Zero means the paper's
+	// empirical 2.
+	MaxThreadDelta int
+	// MaxHTGuests caps concurrently hyper-threaded small operations;
+	// zero means 3.
+	MaxHTGuests int
+	// RetuneAll lifts the MKL-only restriction: the paper can only change
+	// intra-op parallelism for MKL-DNN operations (Eigen operations pay a
+	// >10% re-parallelization overhead), so by default non-MKL operations
+	// keep the recommended full-width configuration.
+	RetuneAll bool
+}
+
+func (c Config) interval() int {
+	if c.Interval <= 0 {
+		return 4
+	}
+	return c.Interval
+}
+
+func (c Config) candidates() int {
+	if c.Candidates <= 0 {
+		return 3
+	}
+	return c.Candidates
+}
+
+func (c Config) maxThreadDelta() int {
+	if c.MaxThreadDelta <= 0 {
+		return 2
+	}
+	return c.MaxThreadDelta
+}
+
+func (c Config) maxHTGuests() int {
+	if c.MaxHTGuests <= 0 {
+		return 2
+	}
+	return c.MaxHTGuests
+}
+
+// Strategies12 is the Figure-3a configuration: concurrency control only.
+func Strategies12() Config { return Config{Strategy1: true, Strategy2: true} }
+
+// Strategies123 is the Figure-3b configuration: plus co-running.
+func Strategies123() Config {
+	return Config{Strategy1: true, Strategy2: true, Strategy3: true}
+}
+
+// AllStrategies is the full runtime of Figures 3c/3d.
+func AllStrategies() Config {
+	return Config{Strategy1: true, Strategy2: true, Strategy3: true, Strategy4: true}
+}

@@ -1,0 +1,149 @@
+package counters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opsched/internal/hw"
+	"opsched/internal/op"
+)
+
+func bigOp() *op.Op   { return op.Conv(op.Conv2D, 32, 17, 17, 384, 3, 384, 1) }
+func smallOp() *op.Op { return op.Elementwise(op.Mul, 16, 32) }
+
+func TestProfileDeterministic(t *testing.T) {
+	p := &Profiler{Seed: 7}
+	a := p.Profile(bigOp(), 16, hw.Shared)
+	b := p.Profile(bigOp(), 16, hw.Shared)
+	if a.DurationNs != b.DurationNs {
+		t.Error("durations differ between identical profiles")
+	}
+	for ev, v := range a.Counts {
+		if b.Counts[ev] != v {
+			t.Errorf("event %s differs: %v vs %v", ev, v, b.Counts[ev])
+		}
+	}
+	// A different seed must perturb counters but not the true duration.
+	c := (&Profiler{Seed: 8}).Profile(bigOp(), 16, hw.Shared)
+	if c.DurationNs != a.DurationNs {
+		t.Error("duration changed with seed; timing must be noise-free")
+	}
+	same := true
+	for ev, v := range a.Counts {
+		if c.Counts[ev] != v {
+			same = false
+			_ = ev
+		}
+	}
+	if same {
+		t.Error("counters identical across seeds; noise missing")
+	}
+}
+
+func TestShortOpsNoisier(t *testing.T) {
+	p := &Profiler{Seed: 3}
+	relErr := func(o *op.Op) float64 {
+		s := p.Profile(o, 8, hw.Spread)
+		// Re-derive the noiseless truth by profiling with zero noise.
+		clean := (&Profiler{Seed: 3, NoiseScale: 1e-12}).Profile(o, 8, hw.Spread)
+		worst := 0.0
+		for ev, v := range s.Counts {
+			truth := clean.Counts[ev]
+			if truth == 0 {
+				continue
+			}
+			if e := math.Abs(v-truth) / math.Abs(truth); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+	if errSmall, errBig := relErr(smallOp()), relErr(bigOp()); errSmall <= errBig {
+		t.Errorf("short op counter error %v <= long op error %v; want short ops noisier", errSmall, errBig)
+	}
+}
+
+func TestEventsCatalog(t *testing.T) {
+	evs := Events()
+	if len(evs) < 10 {
+		t.Errorf("only %d events; the paper's platform has 26, we model at least 10", len(evs))
+	}
+	sel := Selected()
+	if len(sel) != 4 {
+		t.Fatalf("Selected() = %v, want the paper's four features", sel)
+	}
+	for _, s := range sel {
+		found := false
+		for _, e := range evs {
+			if e == s {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("selected event %s not in catalog", s)
+		}
+	}
+}
+
+func TestFeatureVector(t *testing.T) {
+	p := &Profiler{Seed: 1}
+	s := p.Profile(bigOp(), 16, hw.Shared)
+	fv := s.FeatureVector(Selected())
+	if len(fv) != 5 {
+		t.Fatalf("feature vector length = %d, want 4 events + duration", len(fv))
+	}
+	for i, v := range fv {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("feature %d is %v", i, v)
+		}
+	}
+	if fv[4] != s.MeasuredNs {
+		t.Errorf("last feature %v should be the measured duration %v", fv[4], s.MeasuredNs)
+	}
+	if s.MeasuredNs == s.DurationNs {
+		t.Error("measured duration should carry timing jitter")
+	}
+	// Normalization: features (except duration) must be scale-free in total
+	// instructions — two ops of the same kind but different sizes should
+	// have comparable normalized features.
+	s2 := p.Profile(op.Conv(op.Conv2D, 32, 8, 8, 384, 3, 384, 1), 16, hw.Shared)
+	fv2 := s2.FeatureVector(Selected())
+	for i := 0; i < 4; i++ {
+		if fv2[i] != 0 && (fv[i]/fv2[i] > 50 || fv2[i]/fv[i] > 50) {
+			t.Errorf("normalized feature %d differs wildly across sizes: %v vs %v", i, fv[i], fv2[i])
+		}
+	}
+}
+
+func TestSortSamples(t *testing.T) {
+	p := &Profiler{Seed: 1}
+	ss := []Sample{
+		p.Profile(bigOp(), 32, hw.Shared),
+		p.Profile(smallOp(), 8, hw.Spread),
+		p.Profile(bigOp(), 8, hw.Spread),
+	}
+	SortSamples(ss)
+	if !(ss[0].Signature <= ss[1].Signature && ss[1].Signature <= ss[2].Signature) {
+		t.Errorf("samples not sorted by signature")
+	}
+}
+
+// Property: counter noise never flips the sign of a count.
+func TestCountsStayPositive(t *testing.T) {
+	p := &Profiler{Seed: 11}
+	f := func(th uint8, seed uint16) bool {
+		pp := &Profiler{Seed: uint64(seed)}
+		s := pp.Profile(bigOp(), int(th%68)+1, hw.Spread)
+		for _, v := range s.Counts {
+			if v < 0 {
+				return false
+			}
+		}
+		return s.DurationNs > 0
+	}
+	_ = p
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"opsched/internal/graph"
+	"opsched/internal/hw"
+	"opsched/internal/trace"
+)
+
+// Options configure a simulated training-step execution.
+type Options struct {
+	// Machine is the hardware model; nil means hw.NewKNL().
+	Machine *hw.Machine
+	// Trace enables event recording (needed for Figure 4).
+	Trace bool
+}
+
+// OpRecord is the execution record of one operation instance.
+type OpRecord struct {
+	Node      graph.NodeID
+	Threads   int
+	Placement hw.Placement
+	HT        bool
+	StartNs   float64
+	FinishNs  float64
+}
+
+// DurationNs returns the operation's wall-clock duration.
+func (r OpRecord) DurationNs() float64 { return r.FinishNs - r.StartNs }
+
+// Result is the outcome of executing one training step.
+type Result struct {
+	// Scheduler is the policy name.
+	Scheduler string
+	// StepTimeNs is the makespan of the step.
+	StepTimeNs float64
+	// Records holds one entry per operation, in completion order.
+	Records []OpRecord
+	// Trace is the event log (nil unless Options.Trace).
+	Trace *trace.Trace
+}
+
+// Run executes one training step of g under the given scheduling policy.
+func Run(g *graph.Graph, sched Scheduler, opts Options) (*Result, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("exec: nil scheduler")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	m := opts.Machine
+	if m == nil {
+		m = hw.NewKNL()
+	}
+
+	in := g.InDegrees()
+	var ready []graph.NodeID
+	for id, d := range in {
+		if d == 0 {
+			ready = append(ready, graph.NodeID(id))
+		}
+	}
+
+	st := &State{Machine: m, Graph: g, Ready: ready}
+	res := &Result{Scheduler: sched.Name()}
+	if opts.Trace {
+		res.Trace = &trace.Trace{}
+	}
+
+	done := 0
+	for done < g.Len() {
+		// Ask the scheduler for launches until it has nothing to add.
+		for {
+			decs := sched.Schedule(st)
+			if len(decs) == 0 {
+				break
+			}
+			for _, d := range decs {
+				if err := d.Validate(st); err != nil {
+					return nil, err
+				}
+				if err := launch(st, d, res); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if len(st.Running) == 0 {
+			return nil, fmt.Errorf("exec: scheduler %q stalled with %d ready and %d done of %d ops",
+				sched.Name(), len(st.Ready), done, g.Len())
+		}
+
+		recomputeRates(st)
+
+		// Advance the clock to the earliest completion.
+		next := math.Inf(1)
+		var nearest *Running
+		for _, r := range st.Running {
+			if t := st.ClockNs + r.RemainingNs(); t < next {
+				next = t
+				nearest = r
+			}
+		}
+		elapsed := next - st.ClockNs
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		st.ClockNs = next
+
+		// Progress every running op and harvest completions. Remaining
+		// times below half a nanosecond count as done: every modeled
+		// operation takes microseconds, and once the clock is large,
+		// sub-ulp remainders would otherwise never drain (clock+r == clock
+		// in float64). The `nearest` op is forced complete so the loop
+		// always makes progress.
+		const completionEpsNs = 0.5
+		var still []*Running
+		for _, r := range st.Running {
+			r.remaining -= elapsed / r.nominal
+			if r != nearest && r.remaining*r.nominal > completionEpsNs {
+				still = append(still, r)
+				continue
+			}
+			done++
+			res.Records = append(res.Records, OpRecord{
+				Node: r.Node, Threads: r.Threads, Placement: r.Placement,
+				HT: r.HT, StartNs: r.StartNs, FinishNs: st.ClockNs,
+			})
+			for _, c := range g.Node(r.Node).Consumers() {
+				in[c]--
+				if in[c] == 0 {
+					st.Ready = append(st.Ready, c)
+				}
+			}
+		}
+		st.Running = still
+		if res.Trace != nil {
+			res.Trace.Add(trace.Event{
+				ClockNs: st.ClockNs, Type: trace.Finish,
+				Node: graph.NodeID(-1), CoRunning: len(st.Running),
+			})
+		}
+	}
+
+	res.StepTimeNs = st.ClockNs
+	return res, nil
+}
+
+// launch removes the node from the ready queue and adds it to the running
+// set.
+func launch(st *State, d Decision, res *Result) error {
+	idx := -1
+	for i, id := range st.Ready {
+		if id == d.Node {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("exec: node %d not in ready queue", d.Node)
+	}
+	st.Ready = append(st.Ready[:idx], st.Ready[idx+1:]...)
+
+	cost := st.Graph.Node(d.Node).Op.Cost()
+	if err := cost.Validate(); err != nil {
+		return fmt.Errorf("exec: node %d: %w", d.Node, err)
+	}
+	solo := st.Machine.OpTime(cost, d.Threads, d.Placement, hw.Solo())
+	r := &Running{
+		Node: d.Node, Threads: d.Threads, Placement: d.Placement, HT: d.HT,
+		Pinned: d.Pinned, StartNs: st.ClockNs, cost: cost, remaining: 1, nominal: solo,
+	}
+	if solo > 0 {
+		r.demand = st.Machine.MemTraffic(cost, d.Threads, d.Placement) / solo
+	}
+	st.Running = append(st.Running, r)
+	if res.Trace != nil {
+		res.Trace.Add(trace.Event{
+			ClockNs: st.ClockNs, Type: trace.Launch,
+			Node: d.Node, CoRunning: len(st.Running),
+		})
+	}
+	return nil
+}
+
+// recomputeRates refreshes every running operation's nominal duration for
+// the current co-run set: bandwidth is shared when total demand exceeds the
+// machine peak, hyper-threading guests slow their hosts, and
+// oversubscription beyond the physical cores stacks everything onto
+// hyper-threads (the TensorFlow-default behaviour of Table I).
+func recomputeRates(st *State) {
+	m := st.Machine
+
+	totalThreads := 0
+	totalDemand := 0.0
+	for _, r := range st.Running {
+		totalThreads += r.Threads
+		totalDemand += r.demand
+	}
+	share := 1.0
+	if totalDemand > m.BWMaxBytesNs {
+		share = m.BWMaxBytesNs / totalDemand
+	}
+
+	// Match hyper-threading guests to hosts: each guest rides the largest
+	// non-HT op that can cover its threads. Guests run at full SMT cost
+	// (they share busy cores); hosts only lose a mild slice per guest —
+	// Strategy 4 deliberately picks small, short operations as guests.
+	guests := make(map[*Running]int) // host -> guest count
+	depth := make(map[*Running]int)
+	scale := make(map[*Running]float64)
+	for _, r := range st.Running {
+		depth[r] = 1
+		scale[r] = 1
+	}
+	for _, r := range st.Running {
+		if !r.HT {
+			continue
+		}
+		var host *Running
+		for _, h := range st.Running {
+			if h.HT {
+				continue
+			}
+			if h.Placement.CoresUsed(m, h.Threads) >= r.Threads &&
+				(host == nil || h.Threads > host.Threads) {
+				host = h
+			}
+		}
+		if host != nil {
+			guests[host]++
+			depth[r] = 2
+		}
+		// A guest whose host already finished is promoted: its cores are
+		// free now, so it runs at full speed.
+	}
+	const hostGuestEff = 0.99
+	for h, n := range guests {
+		s := 1.0
+		for i := 0; i < n && i < m.HTPerCore-1; i++ {
+			s *= hostGuestEff
+		}
+		scale[h] = s
+	}
+
+	// Thread stacking: when the co-running operations' threads exceed the
+	// physical cores, pools overlap onto hyper-threads (and beyond them,
+	// OS time slicing) — the mechanism behind Table I's 136/272-thread
+	// collapse.
+	overlapped := false
+	if totalThreads > m.Cores {
+		overlapped = true
+		d := (totalThreads + m.Cores - 1) / m.Cores
+		for _, r := range st.Running {
+			if d > depth[r] {
+				depth[r] = d
+			}
+		}
+	}
+
+	// Mesh/L2-stream interference: co-runners on disjoint cores still
+	// fight over the on-die interconnect and the direct-mapped MCDRAM
+	// cache, costing each of them compute throughput (the paper's Table
+	// III reports 17-25% individual losses for a 2-way co-run). Pinned
+	// co-runners — the runtime partitions tiles explicitly — interfere
+	// far less than unpinned TensorFlow pools whose threads migrate and
+	// collide. When the pools already overlap on hyper-threads, the SMT
+	// penalty above covers the first two pools and mesh interference only
+	// grows with the pool count beyond that.
+	const (
+		meshAlphaPinned   = 0.22
+		meshAlphaUnpinned = 0.85
+	)
+	if k := nonHT(st.Running); k >= 2 {
+		extra := k - 1
+		if overlapped {
+			extra = k - 2
+		}
+		if extra > 0 {
+			for _, r := range st.Running {
+				if r.HT {
+					continue
+				}
+				alpha := meshAlphaUnpinned
+				if r.Pinned {
+					alpha = meshAlphaPinned
+				}
+				scale[r] *= 1 / (1 + alpha*float64(extra))
+			}
+		}
+	}
+
+	for _, r := range st.Running {
+		r.nominal = m.OpTime(r.cost, r.Threads, r.Placement, hw.RunContext{
+			BWShare:      share,
+			SMTDepth:     depth[r],
+			ComputeScale: scale[r],
+		})
+	}
+}
+
+// nonHT counts the running operations that occupy cores of their own.
+func nonHT(running []*Running) int {
+	n := 0
+	for _, r := range running {
+		if !r.HT {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,258 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"opsched/internal/graph"
+	"opsched/internal/hw"
+	"opsched/internal/nn"
+	"opsched/internal/op"
+)
+
+// chain builds a linear graph of n identical convolutions.
+func chain(n int) *graph.Graph {
+	g := graph.New("chain")
+	var prev graph.NodeID = -1
+	for i := 0; i < n; i++ {
+		o := op.Conv(op.Conv2D, 32, 8, 8, 128, 3, 128, 1)
+		if prev < 0 {
+			prev = g.Add(o, "c")
+		} else {
+			prev = g.Add(o, "c", prev)
+		}
+	}
+	return g
+}
+
+// diamond builds a fork-join graph around the paper's Table III pair:
+// Conv2DBackpropFilter and Conv2DBackpropInput at input (32,8,8,2048),
+// whose individual optimum is the full 68 cores.
+func diamond() *graph.Graph {
+	g := graph.New("diamond")
+	src := g.Add(op.Elementwise(op.Relu, 32, 8, 8, 2048), "src")
+	a := g.Add(op.Conv(op.Conv2DBackpropFilter, 32, 8, 8, 2048, 3, 2048, 1), "cbf", src)
+	b := g.Add(op.Conv(op.Conv2DBackpropInput, 32, 8, 8, 2048, 3, 2048, 1), "cbi", src)
+	g.Add(op.Elementwise(op.Relu, 32, 8, 8, 2048), "sink", a, b)
+	return g
+}
+
+func TestRunSerialChain(t *testing.T) {
+	g := chain(5)
+	m := hw.NewKNL()
+	res, err := Run(g, Recommendation(m), Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 5 {
+		t.Fatalf("records = %d, want 5", len(res.Records))
+	}
+	// Serial execution: step time equals the sum of op durations.
+	sum := 0.0
+	for _, r := range res.Records {
+		sum += r.DurationNs()
+		if r.Threads != 68 {
+			t.Errorf("op ran with %d threads, want 68", r.Threads)
+		}
+	}
+	if math.Abs(sum-res.StepTimeNs) > 1e-6*res.StepTimeNs {
+		t.Errorf("serial step time %v != sum of durations %v", res.StepTimeNs, sum)
+	}
+	// Each op should take the solo model time.
+	want := m.SoloTime(g.Node(0).Op.Cost(), 68, hw.Shared)
+	if got := res.Records[0].DurationNs(); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("op duration %v, want solo model time %v", got, want)
+	}
+}
+
+func TestRunRespectsDependencies(t *testing.T) {
+	g := chain(8)
+	res, err := Run(g, &FIFO{InterOp: 4, IntraOp: 16, Place: hw.Shared}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish := make(map[graph.NodeID]float64)
+	start := make(map[graph.NodeID]float64)
+	for _, r := range res.Records {
+		finish[r.Node], start[r.Node] = r.FinishNs, r.StartNs
+	}
+	for _, n := range g.Nodes() {
+		for _, d := range n.Deps() {
+			if start[n.ID] < finish[d]-1e-6 {
+				t.Errorf("node %d started at %v before dep %d finished at %v",
+					n.ID, start[n.ID], d, finish[d])
+			}
+		}
+	}
+}
+
+// TestCoRunBeatsSerialWithThreadControl reproduces Table III's headline:
+// running two independent convolutions pinned to half the cores each beats
+// serial execution at full width, even though each op individually slows
+// down. Pinning matters: the paper's scripts partition the cores
+// explicitly, unlike stock TensorFlow's overlapping pools.
+func TestCoRunBeatsSerialWithThreadControl(t *testing.T) {
+	g := diamond()
+	m := hw.NewKNL()
+
+	serial, err := Run(g, Recommendation(m), Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := Run(g, &FIFO{InterOp: 2, IntraOp: 34, Place: hw.Shared, Pinned: true}, Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.StepTimeNs >= serial.StepTimeNs {
+		t.Errorf("34+34 co-run (%v) not faster than 68-serial (%v)", split.StepTimeNs, serial.StepTimeNs)
+	}
+	speedup := serial.StepTimeNs / split.StepTimeNs
+	if speedup < 1.1 || speedup > 2.0 {
+		t.Errorf("co-run speedup = %.2f, want within (1.1, 2.0) around the paper's 1.38", speedup)
+	}
+}
+
+// TestOversubscriptionHurts reproduces Table I's 136-thread rows: doubling
+// intra-op threads past the physical cores slows the whole model down.
+func TestOversubscriptionHurts(t *testing.T) {
+	g := chain(4)
+	m := hw.NewKNL()
+	base, err := Run(g, Recommendation(m), Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := Run(g, &FIFO{InterOp: 1, IntraOp: 136, Place: hw.Shared}, Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.StepTimeNs <= base.StepTimeNs {
+		t.Errorf("136-thread run (%v) not slower than 68-thread (%v)", over.StepTimeNs, base.StepTimeNs)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	g := diamond()
+	res, err := Run(g, &FIFO{InterOp: 2, IntraOp: 34, Place: hw.Shared}, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Len() == 0 {
+		t.Fatal("trace empty despite Options.Trace")
+	}
+	if max := maxCoRun(res); max < 2 {
+		t.Errorf("max co-running = %d, want >= 2 for the diamond under inter-op 2", max)
+	}
+	// Without tracing the field stays nil.
+	res2, err := Run(g, Recommendation(nil2()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace != nil {
+		t.Error("trace allocated without Options.Trace")
+	}
+}
+
+func nil2() *hw.Machine { return hw.NewKNL() }
+
+func maxCoRun(res *Result) int {
+	max := 0
+	for _, e := range res.Trace.Events() {
+		if e.CoRunning > max {
+			max = e.CoRunning
+		}
+	}
+	return max
+}
+
+func TestRunErrors(t *testing.T) {
+	g := chain(2)
+	if _, err := Run(g, nil, Options{}); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := Run(graph.New("empty"), Recommendation(nil2()), Options{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	// A scheduler that never launches anything must be reported as stalled.
+	if _, err := Run(g, stallSched{}, Options{}); err == nil {
+		t.Error("stalling scheduler not detected")
+	}
+	// A scheduler returning invalid decisions must fail loudly.
+	if _, err := Run(g, badSched{}, Options{}); err == nil {
+		t.Error("invalid decision not rejected")
+	}
+}
+
+type stallSched struct{}
+
+func (stallSched) Name() string               { return "stall" }
+func (stallSched) Schedule(*State) []Decision { return nil }
+
+type badSched struct{}
+
+func (badSched) Name() string { return "bad" }
+func (badSched) Schedule(st *State) []Decision {
+	if len(st.Ready) == 0 {
+		return nil
+	}
+	return []Decision{{Node: st.Ready[0], Threads: 0, Placement: hw.Spread}}
+}
+
+// TestFullModelUnderBaseline executes a whole ResNet-50 step under the
+// recommendation baseline and sanity-checks the step time and record count.
+func TestFullModelUnderBaseline(t *testing.T) {
+	m := nn.BuildResNet50(64)
+	res, err := Run(m.Graph, Recommendation(nil2()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != m.Graph.Len() {
+		t.Fatalf("executed %d of %d ops", len(res.Records), m.Graph.Len())
+	}
+	// Step time should land in a plausible range (paper: 1382 ms on real
+	// KNL; the simulator should be within the same order of magnitude).
+	sec := res.StepTimeNs / 1e9
+	if sec < 0.1 || sec > 20 {
+		t.Errorf("ResNet-50 step time = %.3f s, outside plausible range", sec)
+	}
+}
+
+// TestInterOpParallelismChangesMakespan: with enough graph width, allowing
+// co-run with reduced intra-op parallelism must beat the serial baseline on
+// a whole model (Table I rows inter=2, intra=34).
+func TestInterOpParallelismChangesMakespan(t *testing.T) {
+	model := nn.BuildResNet50(64)
+	m := hw.NewKNL()
+	serial, err := Run(model.Graph, Recommendation(m), Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := Run(model.Graph, &FIFO{InterOp: 2, IntraOp: 34, Place: hw.Shared}, Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.StepTimeNs >= serial.StepTimeNs {
+		t.Errorf("inter=2/intra=34 (%v) not faster than recommendation (%v) on ResNet-50",
+			co.StepTimeNs, serial.StepTimeNs)
+	}
+}
+
+// TestDeterminism: identical inputs yield identical timelines.
+func TestDeterminism(t *testing.T) {
+	model := nn.BuildDCGAN(64)
+	a, err := Run(model.Graph, &FIFO{InterOp: 2, IntraOp: 34, Place: hw.Shared}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(model.Graph, &FIFO{InterOp: 2, IntraOp: 34, Place: hw.Shared}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StepTimeNs != b.StepTimeNs {
+		t.Errorf("non-deterministic step time: %v vs %v", a.StepTimeNs, b.StepTimeNs)
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package exec is the discrete-event execution engine that plays the role
+// of the TensorFlow runtime: it tracks operation readiness in a dataflow
+// graph, asks a pluggable Scheduler how to launch ready operations, and
+// advances a virtual clock through launch/finish events. Execution times
+// come from the hw machine model and are recomputed whenever the co-running
+// set changes, so memory-bandwidth contention and hyper-threading sharing
+// between co-runners are captured (processor-sharing semantics with
+// piecewise-constant rates).
+package exec
+
+import (
+	"fmt"
+
+	"opsched/internal/graph"
+	"opsched/internal/hw"
+)
+
+// Decision is a scheduler's instruction to launch one ready operation.
+type Decision struct {
+	// Node is the ready operation to launch.
+	Node graph.NodeID
+	// Threads is the intra-op parallelism.
+	Threads int
+	// Placement is the tile layout of the threads.
+	Placement hw.Placement
+	// HT marks a hyper-threading co-run (Strategy 4): the operation is
+	// placed on the second hardware thread of cores already occupied by a
+	// running operation, consuming no core budget but slowing its hosts.
+	HT bool
+	// Pinned means the operation's threads are bound to cores disjoint
+	// from every other pinned operation — what the paper's runtime does
+	// when it partitions cores between co-runners. Unpinned operations
+	// model stock TensorFlow/MKL behaviour: each operation's OpenMP pool
+	// is laid out compactly from core 0, so concurrently running unpinned
+	// operations stack onto the same cores and pay SMT/oversubscription
+	// costs even when their total thread count would fit the machine.
+	Pinned bool
+}
+
+// Running describes one operation in flight. Schedulers may inspect but
+// not modify it.
+type Running struct {
+	Node      graph.NodeID
+	Threads   int
+	Placement hw.Placement
+	HT        bool
+	Pinned    bool
+	StartNs   float64
+
+	cost      hw.OpCost
+	remaining float64 // fraction of the op still to execute, in (0,1]
+	nominal   float64 // duration under the current context, ns
+	demand    float64 // solo memory-bandwidth demand, bytes/ns
+}
+
+// RemainingNs estimates how long the operation still needs under the
+// current co-run conditions — what the paper's Strategy 3 compares against
+// a candidate's predicted time ("does not take longer than ongoing
+// operations").
+func (r *Running) RemainingNs() float64 { return r.remaining * r.nominal }
+
+// State is the scheduler's view of the machine at a decision point.
+type State struct {
+	// Machine is the hardware model.
+	Machine *hw.Machine
+	// Graph is the dataflow graph being executed.
+	Graph *graph.Graph
+	// ClockNs is the current virtual time.
+	ClockNs float64
+	// Ready lists ready-to-run operations in FIFO (enqueue) order.
+	Ready []graph.NodeID
+	// Running lists operations in flight.
+	Running []*Running
+}
+
+// IdleCores returns the number of physical cores not occupied by non-HT
+// running operations.
+func (s *State) IdleCores() int {
+	used := 0
+	for _, r := range s.Running {
+		if !r.HT {
+			used += r.Placement.CoresUsed(s.Machine, r.Threads)
+		}
+	}
+	idle := s.Machine.Cores - used
+	if idle < 0 {
+		return 0
+	}
+	return idle
+}
+
+// MaxRemainingNs returns the longest remaining time among running
+// operations (0 if none are running).
+func (s *State) MaxRemainingNs() float64 {
+	max := 0.0
+	for _, r := range s.Running {
+		if t := r.RemainingNs(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Scheduler decides which ready operations to launch. It is called at the
+// start of execution and after every operation completion; it may return no
+// decisions to leave cores idle until the next event.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Schedule returns launch decisions for the current state. Returned
+	// decisions are applied in order; invalid decisions (not-ready nodes,
+	// non-positive thread counts) abort execution with an error.
+	Schedule(st *State) []Decision
+}
+
+// Validate sanity-checks a decision against the current state.
+func (d Decision) Validate(st *State) error {
+	if d.Threads <= 0 {
+		return fmt.Errorf("exec: decision for node %d has %d threads", d.Node, d.Threads)
+	}
+	if !d.Placement.Valid() {
+		return fmt.Errorf("exec: decision for node %d has invalid placement", d.Node)
+	}
+	for _, id := range st.Ready {
+		if id == d.Node {
+			return nil
+		}
+	}
+	return fmt.Errorf("exec: node %d is not ready", d.Node)
+}

@@ -1,0 +1,90 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables I-VII, Figures 1 and 3-5). Each experiment returns a
+// structured result with a Render method that prints the same rows/series
+// the paper reports; the cmd/opsched-bench binary and the repository's
+// bench harness drive them. Absolute numbers come from the analytic KNL/GPU
+// models, so they are compared against the paper by shape (who wins, by
+// roughly what factor), which EXPERIMENTS.md records experiment by
+// experiment.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"opsched/internal/hw"
+)
+
+// Experiment names accepted by Run.
+const (
+	NameFigure1 = "fig1"
+	NameTable1  = "table1"
+	NameTable2  = "table2"
+	NameTable3  = "table3"
+	NameTable4  = "table4"
+	NameTable5  = "table5"
+	NameFigure3 = "fig3"
+	NameTable6  = "table6"
+	NameFigure4 = "fig4"
+	NameFigure5 = "fig5"
+	NameTable7  = "table7"
+)
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	// Render returns the experiment's report in the paper's layout.
+	Render() string
+}
+
+// Names lists all experiments in paper order.
+func Names() []string {
+	return []string{
+		NameFigure1, NameTable1, NameTable2, NameTable3, NameTable4,
+		NameTable5, NameFigure3, NameTable6, NameFigure4, NameFigure5,
+		NameTable7,
+	}
+}
+
+// Run executes the named experiment on machine m (nil means hw.NewKNL()).
+// Table IV accepts nil options for its defaults.
+func Run(name string, m *hw.Machine) (Result, error) {
+	if m == nil {
+		m = hw.NewKNL()
+	}
+	switch name {
+	case NameFigure1:
+		return Figure1(m), nil
+	case NameTable1:
+		return Table1(m)
+	case NameTable2:
+		return Table2(m), nil
+	case NameTable3:
+		return Table3(m)
+	case NameTable4:
+		return Table4(m, nil)
+	case NameTable5:
+		return Table5(m), nil
+	case NameFigure3:
+		return Figure3(m)
+	case NameTable6:
+		return Table6(m)
+	case NameFigure4:
+		return Figure4(m)
+	case NameFigure5:
+		return Figure5(), nil
+	case NameTable7:
+		return Table7(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+}
+
+// sortedKeys returns map keys in sorted order for deterministic rendering.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"opsched/internal/gpu"
+	"opsched/internal/stats"
+)
+
+// Figure5Result reproduces Figure 5: GPU operation time against the two
+// intra-op parallelism knobs, threads per block and thread blocks, for
+// BiasAdd and MaxPooling (totals over ten thousand runs, as the paper
+// plots).
+type Figure5Result struct {
+	TPB    []int
+	Blocks []int
+	// SecByTPB and SecByBlocks map kernel name to series.
+	SecByTPB    map[string][]float64
+	SecByBlocks map[string][]float64
+}
+
+// Figure5 sweeps the launch configurations on the P100 model.
+func Figure5() *Figure5Result {
+	d := gpu.NewP100()
+	res := &Figure5Result{
+		TPB: gpu.TPBGrid(), Blocks: gpu.BlockGrid(),
+		SecByTPB: map[string][]float64{}, SecByBlocks: map[string][]float64{},
+	}
+	for _, name := range []string{"BiasAdd", "MaxPooling"} {
+		k, _ := gpu.Lookup(name)
+		var byTPB, byBlocks []float64
+		for _, tpb := range res.TPB {
+			byTPB = append(byTPB, d.Time(k, d.DefaultBlocks, tpb)*10000/1e9)
+		}
+		for _, blocks := range res.Blocks {
+			byBlocks = append(byBlocks, d.Time(k, blocks, d.DefaultTPB)*10000/1e9)
+		}
+		res.SecByTPB[name] = byTPB
+		res.SecByBlocks[name] = byBlocks
+	}
+	return res
+}
+
+// Render implements Result.
+func (r *Figure5Result) Render() string {
+	a := stats.NewTable("Figure 5a: execution time (s per 10000 runs) vs threads per block (56 blocks)",
+		append([]string{"op"}, intsToStrings(r.TPB)...)...)
+	for _, name := range sortedKeys(r.SecByTPB) {
+		cells := []string{name}
+		for _, v := range r.SecByTPB[name] {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		a.AddRowCells(cells...)
+	}
+	b := stats.NewTable("Figure 5b: execution time (s per 10000 runs) vs thread blocks (1024 threads/block)",
+		append([]string{"op"}, intsToStrings(r.Blocks)...)...)
+	for _, name := range sortedKeys(r.SecByBlocks) {
+		cells := []string{name}
+		for _, v := range r.SecByBlocks[name] {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		b.AddRowCells(cells...)
+	}
+	return a.Render() + b.Render() +
+		"(paper: default 1024 threads/block up to 18% off optimum; default 56 blocks up to 11% off)\n"
+}
+
+// Table7Row is one kernel of Table VII.
+type Table7Row struct {
+	Op        string
+	SerialSec float64
+	CoRunSec  float64
+	Speedup   float64
+}
+
+// Table7Result reproduces Table VII: serial vs two-stream co-run of two
+// instances of each operation on the GPU.
+type Table7Result struct{ Rows []Table7Row }
+
+// Table7 runs the co-run study over the five-kernel catalog.
+func Table7() *Table7Result {
+	d := gpu.NewP100()
+	res := &Table7Result{}
+	for _, k := range gpu.Catalog() {
+		serial := d.SerialTime(k, k, d.DefaultBlocks, d.DefaultTPB) * 10000 / 1e9
+		corun := d.CoRunTime(k, k, d.DefaultBlocks, d.DefaultTPB) * 10000 / 1e9
+		res.Rows = append(res.Rows, Table7Row{
+			Op: k.Name, SerialSec: serial, CoRunSec: corun, Speedup: serial / corun,
+		})
+	}
+	return res
+}
+
+// Render implements Result.
+func (r *Table7Result) Render() string {
+	t := stats.NewTable("Table VII: co-running operations on GPU (totals for 10000 runs)",
+		"operation", "serial (s)", "co-run (s)", "speedup")
+	for _, row := range r.Rows {
+		t.AddRowCells(row.Op,
+			fmt.Sprintf("%.1f", row.SerialSec),
+			fmt.Sprintf("%.1f", row.CoRunSec),
+			fmt.Sprintf("%.2f", row.Speedup))
+	}
+	return t.Render() + "(paper: speedups 1.75-1.91)\n"
+}

@@ -1,0 +1,167 @@
+// Package gpu models the Nvidia Tesla P100 study of the paper's Section
+// VII: intra-op parallelism on a GPU is a two-dimensional knob — threads
+// per thread block and number of thread blocks — and co-running operations
+// on separate CUDA streams beats TensorFlow's single-stream serial
+// execution. The occupancy model captures the three effects the paper
+// observes: too few threads per block underutilizes each SM, too many
+// wastes occupancy (up to 18% off the default); too few blocks starves
+// latency hiding and too many pays wave-scheduling overhead (up to 11%);
+// and two co-run kernels interleave with only mild interference (1.75-1.9×
+// over serial).
+package gpu
+
+import (
+	"errors"
+	"math"
+)
+
+// Device describes a GPU and its occupancy-model constants.
+type Device struct {
+	// SMs is the number of streaming multiprocessors (56 on P100).
+	SMs int
+	// MaxThreadsPerSM bounds resident threads per SM (2048 on P100).
+	MaxThreadsPerSM int
+	// BWBytesNs is HBM2 bandwidth in bytes/ns (~730 GB/s on P100).
+	BWBytesNs float64
+	// DefaultBlocks and DefaultTPB are TensorFlow's launch defaults on
+	// this device (56 blocks × 1024 threads in the paper's setup).
+	DefaultBlocks int
+	DefaultTPB    int
+
+	// PeakTPB is the threads-per-block sweet spot of the occupancy curve.
+	PeakTPB float64
+	// TPBSensitivity scales the occupancy loss away from PeakTPB.
+	TPBSensitivity float64
+	// LatencyFloor is the throughput fraction at zero occupancy.
+	LatencyFloor float64
+	// WaveOverhead is the per-extra-wave scheduling cost fraction.
+	WaveOverhead float64
+}
+
+// NewP100 returns the Tesla P100 (CUDA 9, cuDNN 7) configuration of §VII.
+func NewP100() *Device {
+	return &Device{
+		SMs:             56,
+		MaxThreadsPerSM: 2048,
+		BWBytesNs:       730,
+		DefaultBlocks:   56,
+		DefaultTPB:      1024,
+		PeakTPB:         512,
+		TPBSensitivity:  0.30,
+		LatencyFloor:    0.68,
+		WaveOverhead:    0.006,
+	}
+}
+
+// Validate reports whether the device description is usable.
+func (d *Device) Validate() error {
+	switch {
+	case d.SMs <= 0:
+		return errors.New("gpu: SMs must be positive")
+	case d.MaxThreadsPerSM <= 0:
+		return errors.New("gpu: MaxThreadsPerSM must be positive")
+	case d.BWBytesNs <= 0:
+		return errors.New("gpu: BWBytesNs must be positive")
+	case d.LatencyFloor <= 0 || d.LatencyFloor > 1:
+		return errors.New("gpu: LatencyFloor must be in (0,1]")
+	}
+	return nil
+}
+
+// Kernel is one GPU operation instance.
+type Kernel struct {
+	// Name identifies the operation (Table VII's rows).
+	Name string
+	// WorkNs is the kernel's compute time at full device utilization.
+	WorkNs float64
+	// Bytes is the main-memory traffic.
+	Bytes float64
+	// LaunchNs is the fixed launch/driver overhead.
+	LaunchNs float64
+	// MemFrac in [0,1] describes how memory-bound the kernel is; it
+	// drives co-run interference.
+	MemFrac float64
+}
+
+// tpbEff is the throughput factor of the threads-per-block choice: a
+// shallow peak at PeakTPB, matching the paper's ≤18% swing across
+// 64..16384 threads per block.
+func (d *Device) tpbEff(tpb int) float64 {
+	if tpb <= 0 {
+		return 0
+	}
+	dev := math.Log2(float64(tpb) / d.PeakTPB)
+	peak := 1 / (1 + d.TPBSensitivity*dev*dev)
+	return 0.80 + 0.20*peak
+}
+
+// blocksEff is the throughput factor of the block-count choice: occupancy
+// for latency hiding rises until the device is full, then extra waves cost
+// WaveOverhead each.
+func (d *Device) blocksEff(blocks, tpb int) float64 {
+	if blocks <= 0 {
+		return 0
+	}
+	resident := float64(blocks*tpb) / float64(d.SMs*d.MaxThreadsPerSM)
+	if resident > 1 {
+		resident = 1
+	}
+	lat := d.LatencyFloor + (1-d.LatencyFloor)*resident
+	waves := (blocks + d.SMs - 1) / d.SMs
+	return lat / (1 + d.WaveOverhead*float64(waves-1))
+}
+
+// Time returns the kernel's execution time with the given launch
+// configuration, in nanoseconds.
+func (d *Device) Time(k Kernel, blocks, tpb int) float64 {
+	if blocks <= 0 || tpb <= 0 {
+		return math.Inf(1)
+	}
+	eff := d.tpbEff(tpb) * d.blocksEff(blocks, tpb)
+	comp := k.WorkNs / eff
+	mem := k.Bytes / d.BWBytesNs
+	return k.LaunchNs + comp + mem
+}
+
+// DefaultTime is Time at TensorFlow's default launch configuration.
+func (d *Device) DefaultTime(k Kernel) float64 {
+	return d.Time(k, d.DefaultBlocks, d.DefaultTPB)
+}
+
+// BestConfig sweeps the paper's configuration ranges and returns the
+// fastest (blocks, tpb) pair with its time.
+func (d *Device) BestConfig(k Kernel, blockGrid, tpbGrid []int) (blocks, tpb int, t float64) {
+	t = math.Inf(1)
+	for _, b := range blockGrid {
+		for _, tp := range tpbGrid {
+			if v := d.Time(k, b, tp); v < t {
+				blocks, tpb, t = b, tp, v
+			}
+		}
+	}
+	return blocks, tpb, t
+}
+
+// SerialTime is the single-stream (TensorFlow default) time of running two
+// kernels back to back.
+func (d *Device) SerialTime(a, b Kernel, blocks, tpb int) float64 {
+	return d.Time(a, blocks, tpb) + d.Time(b, blocks, tpb)
+}
+
+// CoRunTime is the makespan of two kernels issued on two CUDA streams. The
+// kernels interleave waves; interference grows with how memory-bound they
+// are and how much their executions overlap.
+func (d *Device) CoRunTime(a, b Kernel, blocks, tpb int) float64 {
+	ta := d.Time(a, blocks, tpb)
+	tb := d.Time(b, blocks, tpb)
+	long, short := ta, tb
+	if tb > ta {
+		long, short = tb, ta
+	}
+	if long == 0 {
+		return 0
+	}
+	overlap := short / long
+	interference := 0.05 + 0.08*(a.MemFrac+b.MemFrac)/2
+	return long * (1 + interference*overlap)
+}

@@ -1,0 +1,161 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewP100Valid(t *testing.T) {
+	d := NewP100()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("NewP100().Validate() = %v", err)
+	}
+	if d.SMs != 56 {
+		t.Errorf("SMs = %d, want 56", d.SMs)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for _, mutate := range []func(*Device){
+		func(d *Device) { d.SMs = 0 },
+		func(d *Device) { d.MaxThreadsPerSM = -1 },
+		func(d *Device) { d.BWBytesNs = 0 },
+		func(d *Device) { d.LatencyFloor = 2 },
+	} {
+		d := NewP100()
+		mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Error("bad device accepted")
+		}
+	}
+}
+
+func TestDefaultNotOptimalTPB(t *testing.T) {
+	d := NewP100()
+	for _, name := range []string{"BiasAdd", "MaxPooling"} {
+		k, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("missing kernel %s", name)
+		}
+		def := d.DefaultTime(k)
+		_, tpb, best := d.BestConfig(k, []int{d.DefaultBlocks}, TPBGrid())
+		if tpb == d.DefaultTPB {
+			t.Errorf("%s: default TPB already optimal; paper reports up to 18%% headroom", name)
+		}
+		gain := def/best - 1
+		if gain <= 0.01 || gain > 0.40 {
+			t.Errorf("%s: TPB headroom %.1f%%, paper reports up to 18%%", name, gain*100)
+		}
+	}
+}
+
+func TestDefaultNotOptimalBlocks(t *testing.T) {
+	d := NewP100()
+	k, _ := Lookup("BiasAdd")
+	def := d.DefaultTime(k)
+	blocks, _, best := d.BestConfig(k, BlockGrid(), []int{d.DefaultTPB})
+	if blocks == d.DefaultBlocks {
+		t.Error("default block count already optimal; paper reports up to 11% headroom")
+	}
+	gain := def/best - 1
+	if gain <= 0.01 || gain > 0.30 {
+		t.Errorf("block headroom %.1f%%, paper reports up to 11%%", gain*100)
+	}
+}
+
+func TestTPBCurveShallow(t *testing.T) {
+	// The paper: "there is little performance difference between a large
+	// number of threads per block and a small one" (<3% between 10 and 100
+	// threads for BiasAdd/MaxPooling) — the curve must be shallow, not a
+	// cliff.
+	d := NewP100()
+	k, _ := Lookup("BiasAdd")
+	t10 := d.Time(k, d.DefaultBlocks, 10)
+	t100 := d.Time(k, d.DefaultBlocks, 100)
+	if diff := math.Abs(t10-t100) / math.Min(t10, t100); diff > 0.12 {
+		t.Errorf("TPB 10 vs 100 differ by %.1f%%, paper reports <3%%", diff*100)
+	}
+}
+
+func TestCoRunBeatsSerial(t *testing.T) {
+	d := NewP100()
+	for _, k := range Catalog() {
+		serial := d.SerialTime(k, k, d.DefaultBlocks, d.DefaultTPB)
+		corun := d.CoRunTime(k, k, d.DefaultBlocks, d.DefaultTPB)
+		if corun >= serial {
+			t.Errorf("%s: co-run %.0f >= serial %.0f", k.Name, corun, serial)
+			continue
+		}
+		speedup := serial / corun
+		if speedup < 1.5 || speedup > 2.0 {
+			t.Errorf("%s: co-run speedup %.2f, paper reports 1.75-1.91", k.Name, speedup)
+		}
+	}
+}
+
+func TestCoRunAsymmetric(t *testing.T) {
+	d := NewP100()
+	a, _ := Lookup("Conv2D")
+	b, _ := Lookup("BiasAdd")
+	co := d.CoRunTime(a, b, d.DefaultBlocks, d.DefaultTPB)
+	long := math.Max(d.DefaultTime(a), d.DefaultTime(b))
+	if co < long {
+		t.Errorf("co-run %.0f faster than the longer kernel alone %.0f", co, long)
+	}
+	if co > d.SerialTime(a, b, d.DefaultBlocks, d.DefaultTPB) {
+		t.Errorf("co-run slower than serial")
+	}
+}
+
+func TestTimeEdgeCases(t *testing.T) {
+	d := NewP100()
+	k, _ := Lookup("Conv2D")
+	if !math.IsInf(d.Time(k, 0, 1024), 1) {
+		t.Error("zero blocks should be +Inf")
+	}
+	if !math.IsInf(d.Time(k, 56, 0), 1) {
+		t.Error("zero TPB should be +Inf")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("Nope"); ok {
+		t.Error("Lookup(Nope) = ok")
+	}
+	if len(Catalog()) != 5 {
+		t.Errorf("Catalog has %d kernels, want Table VII's 5", len(Catalog()))
+	}
+}
+
+// Property: Time is positive and finite over the paper's sweep ranges.
+func TestTimeFinite(t *testing.T) {
+	d := NewP100()
+	f := func(bi, ti, ki uint8) bool {
+		blocks := BlockGrid()[int(bi)%len(BlockGrid())]
+		tpb := TPBGrid()[int(ti)%len(TPBGrid())]
+		k := Catalog()[int(ki)%len(Catalog())]
+		v := d.Time(k, blocks, tpb)
+		return v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: co-run makespan is bounded by serial time and by the longer
+// kernel alone.
+func TestCoRunBounds(t *testing.T) {
+	d := NewP100()
+	f := func(ai, bi uint8) bool {
+		a := Catalog()[int(ai)%len(Catalog())]
+		b := Catalog()[int(bi)%len(Catalog())]
+		co := d.CoRunTime(a, b, d.DefaultBlocks, d.DefaultTPB)
+		long := math.Max(d.DefaultTime(a), d.DefaultTime(b))
+		serial := d.SerialTime(a, b, d.DefaultBlocks, d.DefaultTPB)
+		return co >= long && co <= serial
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package gpu
+
+// Catalog returns the five operations of the paper's GPU study (Table VII),
+// with Inception-v3 input sizes. Work and traffic are calibrated so that
+// per-run times sit in the paper's range (the reported numbers are totals
+// over ten thousand runs: Conv2DBackpropFilter 9.8 s serial for two
+// instances ≈ 0.49 ms per instance run).
+func Catalog() []Kernel {
+	return []Kernel{
+		{Name: "Conv2DBackpropFilter", WorkNs: 360e3, Bytes: 48e6, LaunchNs: 8e3, MemFrac: 0.35},
+		{Name: "Conv2DBackpropInput", WorkNs: 700e3, Bytes: 80e6, LaunchNs: 8e3, MemFrac: 0.35},
+		{Name: "Conv2D", WorkNs: 680e3, Bytes: 70e6, LaunchNs: 8e3, MemFrac: 0.30},
+		{Name: "BiasAdd", WorkNs: 160e3, Bytes: 280e6, LaunchNs: 6e3, MemFrac: 0.90},
+		{Name: "MaxPooling", WorkNs: 200e3, Bytes: 290e6, LaunchNs: 6e3, MemFrac: 0.85},
+	}
+}
+
+// Kernel lookup by name; ok is false for unknown names.
+func Lookup(name string) (Kernel, bool) {
+	for _, k := range Catalog() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// TPBGrid is the threads-per-block sweep of Figure 5a.
+func TPBGrid() []int { return []int{64, 128, 1024, 2048, 4096, 16384} }
+
+// BlockGrid is the thread-block sweep of Figure 5b.
+func BlockGrid() []int { return []int{14, 56, 112, 224, 896} }

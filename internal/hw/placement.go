@@ -1,0 +1,86 @@
+package hw
+
+import "fmt"
+
+// Placement describes how an operation's threads are laid out over tiles and
+// cores. The paper evaluates two placements for every thread count: one
+// thread per tile ("no cache sharing") and two threads per tile sharing the
+// tile's L2 ("cache sharing"); threads with consecutive IDs are placed
+// together because MKL-DNN assigns neighbouring loop iterations — which tend
+// to touch the same data — to consecutive threads.
+type Placement int
+
+const (
+	// Spread places at most one thread per tile until tiles run out, then
+	// fills second cores. No L2 sharing for p <= Tiles().
+	Spread Placement = iota
+	// Shared places two threads per tile so tile-mates share L2. Only even
+	// thread counts are used by the paper's runtime (odd counts would leave
+	// one tile imbalanced).
+	Shared
+)
+
+// String implements fmt.Stringer.
+func (pl Placement) String() string {
+	switch pl {
+	case Spread:
+		return "spread"
+	case Shared:
+		return "shared"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(pl))
+	}
+}
+
+// Valid reports whether pl is a known placement.
+func (pl Placement) Valid() bool { return pl == Spread || pl == Shared }
+
+// CoresUsed reports how many physical cores an operation with p threads
+// occupies under this placement, on machine m, assuming one hardware thread
+// per core (the paper's runtime never gives one operation several
+// hyper-threads of the same core; SMT sharing happens only *between*
+// co-running operations, see RunContext.SMTDepth).
+func (pl Placement) CoresUsed(m *Machine, p int) int {
+	if p <= 0 {
+		return 0
+	}
+	if p > m.Cores {
+		return m.Cores
+	}
+	return p
+}
+
+// TilesUsed reports how many tiles the p threads touch.
+func (pl Placement) TilesUsed(m *Machine, p int) int {
+	if p <= 0 {
+		return 0
+	}
+	tiles := m.Tiles()
+	switch pl {
+	case Shared:
+		t := (p + m.CoresPerTile - 1) / m.CoresPerTile
+		if t > tiles {
+			return tiles
+		}
+		return t
+	default: // Spread
+		if p <= tiles {
+			return p
+		}
+		return tiles
+	}
+}
+
+// ThreadsPerTile reports the maximum number of threads co-resident on one
+// tile under this placement.
+func (pl Placement) ThreadsPerTile(m *Machine, p int) int {
+	t := pl.TilesUsed(m, p)
+	if t == 0 {
+		return 0
+	}
+	return (p + t - 1) / t
+}
+
+// Placements lists the placements the runtime considers, in the order the
+// paper's profiler samples them.
+func Placements() []Placement { return []Placement{Spread, Shared} }

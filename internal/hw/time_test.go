@@ -1,0 +1,262 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// convCost is a representative compute-bound convolution-like cost: a curve
+// with an interior optimum well below 68 threads.
+func convCost() OpCost {
+	return OpCost{
+		WorkNs:          30e6,
+		SerialFrac:      0.05,
+		SpawnNs:         45e3,
+		Bytes:           12e6,
+		WorkingSetBytes: 6e6,
+		ShareFrac:       0.6,
+		MissBase:        0.3,
+	}
+}
+
+// streamCost is a memory-bound elementwise cost with no tile-mate sharing.
+func streamCost() OpCost {
+	return OpCost{
+		WorkNs:          2e6,
+		SerialFrac:      0.02,
+		SpawnNs:         8e3,
+		Bytes:           40e6,
+		WorkingSetBytes: 40e6,
+		ShareFrac:       0,
+		MissBase:        0.9,
+	}
+}
+
+func TestOpCostValidate(t *testing.T) {
+	if err := convCost().Validate(); err != nil {
+		t.Fatalf("valid cost rejected: %v", err)
+	}
+	bad := []OpCost{
+		{WorkNs: 0},
+		{WorkNs: 1, SerialFrac: 1},
+		{WorkNs: 1, SerialFrac: -0.1},
+		{WorkNs: 1, SpawnNs: -1},
+		{WorkNs: 1, Bytes: -1},
+		{WorkNs: 1, WorkingSetBytes: -1},
+		{WorkNs: 1, ShareFrac: 2},
+		{WorkNs: 1, MissBase: -0.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate() = nil, want error", i)
+		}
+	}
+}
+
+func TestOpTimeInteriorOptimum(t *testing.T) {
+	m := NewKNL()
+	c := convCost()
+	p, _, best := m.BestThreads(c, m.Cores, Solo())
+	if p <= 1 || p >= m.Cores {
+		t.Fatalf("BestThreads = %d, want interior optimum in (1,%d)", p, m.Cores)
+	}
+	// The recommended 68-thread configuration must be measurably worse than
+	// the optimum (Observation 1).
+	t68 := m.SoloTime(c, m.Cores, Shared)
+	if t68 <= best {
+		t.Errorf("T(68)=%v <= T(%d)=%v; want interior optimum strictly better", t68, p, best)
+	}
+}
+
+func TestOpTimeOptimumGrowsWithWork(t *testing.T) {
+	m := NewKNL()
+	small := convCost()
+	large := small
+	large.WorkNs *= 5
+	large.Bytes *= 5
+	large.WorkingSetBytes *= 5
+	pSmall, _, _ := m.BestThreads(small, m.Cores, Solo())
+	pLarge, _, _ := m.BestThreads(large, m.Cores, Solo())
+	if pLarge <= pSmall {
+		t.Errorf("optimal threads: large input %d <= small input %d; want growth (Observation 2)", pLarge, pSmall)
+	}
+}
+
+func TestOpTimeZeroAndNegativeThreads(t *testing.T) {
+	m := NewKNL()
+	if v := m.OpTime(convCost(), 0, Spread, Solo()); !math.IsInf(v, 1) {
+		t.Errorf("OpTime(p=0) = %v, want +Inf", v)
+	}
+	if v := m.OpTime(convCost(), -3, Spread, Solo()); !math.IsInf(v, 1) {
+		t.Errorf("OpTime(p<0) = %v, want +Inf", v)
+	}
+}
+
+func TestSMTDepthSlowsCompute(t *testing.T) {
+	m := NewKNL()
+	c := convCost()
+	solo := m.OpTime(c, 34, Spread, Solo())
+	shared := m.OpTime(c, 34, Spread, RunContext{BWShare: 1, SMTDepth: 2})
+	if shared <= solo {
+		t.Errorf("SMT-shared time %v <= solo %v; co-resident threads must slow compute", shared, solo)
+	}
+	deep := m.OpTime(c, 34, Spread, RunContext{BWShare: 1, SMTDepth: 4})
+	if deep <= shared {
+		t.Errorf("4-deep SMT %v <= 2-deep %v", deep, shared)
+	}
+}
+
+func TestOversubscriptionCollapses(t *testing.T) {
+	m := NewKNL()
+	c := convCost()
+	// 136 threads = 2 hyper-threads/core must be slower than 68 (Table I,
+	// intra-op 136 rows are 0.3-0.6x of the 68-thread baseline).
+	t68 := m.SoloTime(c, 68, Shared)
+	t136 := m.SoloTime(c, 136, Shared)
+	if t136 <= t68 {
+		t.Errorf("T(136)=%v <= T(68)=%v; hyper-threading a single op must lose", t136, t68)
+	}
+	// Oversubscription beyond 272 hardware threads must be worse still.
+	t544 := m.SoloTime(c, 544, Shared)
+	t272 := m.SoloTime(c, 272, Shared)
+	if t544 <= t272 {
+		t.Errorf("T(544)=%v <= T(272)=%v; oversubscription must pay", t544, t272)
+	}
+}
+
+func TestBWShareSlowsMemoryBoundOps(t *testing.T) {
+	m := NewKNL()
+	c := streamCost()
+	full := m.OpTime(c, 34, Spread, RunContext{BWShare: 1, SMTDepth: 1})
+	half := m.OpTime(c, 34, Spread, RunContext{BWShare: 0.5, SMTDepth: 1})
+	if half <= full {
+		t.Errorf("half-bandwidth time %v <= full %v for memory-bound op", half, full)
+	}
+}
+
+func TestSharedPlacementHelpsSharingOps(t *testing.T) {
+	m := NewKNL()
+	// An op with large working set and high tile-mate sharing should prefer
+	// Shared placement at thread counts where spread would also fit,
+	// because sharing halves per-tile demand.
+	c := OpCost{
+		WorkNs: 20e6, SerialFrac: 0.05, SpawnNs: 20e3,
+		Bytes: 30e6, WorkingSetBytes: 40e6, ShareFrac: 0.9, MissBase: 0.2,
+	}
+	p := 20
+	tShared := m.SoloTime(c, p, Shared)
+	tSpread := m.SoloTime(c, p, Spread)
+	if tShared >= tSpread {
+		t.Errorf("shared placement %v >= spread %v for high-sharing op", tShared, tSpread)
+	}
+	// And the reverse for a no-sharing op whose per-tile demand doubles.
+	c.ShareFrac = 0
+	tShared = m.SoloTime(c, p, Shared)
+	tSpread = m.SoloTime(c, p, Spread)
+	if tShared <= tSpread {
+		t.Errorf("shared placement %v <= spread %v for no-sharing op", tShared, tSpread)
+	}
+}
+
+func TestBestPlacementPicksFaster(t *testing.T) {
+	m := NewKNL()
+	c := convCost()
+	pl, tm := m.BestPlacement(c, 20, Solo())
+	want := math.Min(m.SoloTime(c, 20, Spread), m.SoloTime(c, 20, Shared))
+	if tm != want {
+		t.Errorf("BestPlacement time = %v, want %v", tm, want)
+	}
+	if !pl.Valid() {
+		t.Errorf("BestPlacement returned invalid placement %v", pl)
+	}
+}
+
+func TestRunContextNormalize(t *testing.T) {
+	ctx := RunContext{}.normalize()
+	if ctx.BWShare != 1 || ctx.SMTDepth != 1 {
+		t.Errorf("normalize zero context = %+v, want solo defaults", ctx)
+	}
+	ctx = RunContext{BWShare: 2.5, SMTDepth: 0}.normalize()
+	if ctx.BWShare != 1 || ctx.SMTDepth != 1 {
+		t.Errorf("normalize out-of-range = %+v, want clamped", ctx)
+	}
+}
+
+// Property: execution time is always positive and finite for valid inputs.
+func TestOpTimePositiveFinite(t *testing.T) {
+	m := NewKNL()
+	f := func(workKNs uint32, serialPct uint8, spawnNs uint16, bytesK uint32, p8 uint8) bool {
+		c := OpCost{
+			WorkNs:          float64(workKNs%1e6+1) * 1e3,
+			SerialFrac:      float64(serialPct%99) / 100,
+			SpawnNs:         float64(spawnNs),
+			Bytes:           float64(bytesK%1e6) * 1e3,
+			WorkingSetBytes: float64(bytesK%1e6) * 500,
+			ShareFrac:       0.5,
+			MissBase:        0.4,
+		}
+		p := int(p8%136) + 1
+		for _, pl := range Placements() {
+			v := m.OpTime(c, p, pl, Solo())
+			if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more available bandwidth never hurts.
+func TestOpTimeMonotoneInBandwidthShare(t *testing.T) {
+	m := NewKNL()
+	f := func(shareA, shareB uint8, p8 uint8) bool {
+		a := float64(shareA%100+1) / 100
+		b := float64(shareB%100+1) / 100
+		if a > b {
+			a, b = b, a
+		}
+		p := int(p8%68) + 1
+		c := streamCost()
+		ta := m.OpTime(c, p, Spread, RunContext{BWShare: a, SMTDepth: 1})
+		tb := m.OpTime(c, p, Spread, RunContext{BWShare: b, SMTDepth: 1})
+		return tb <= ta+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the time-vs-threads curve within one placement has a single
+// descent-then-ascent shape (convex enough for hill climbing): once the
+// curve turns upward it never comes back below the turning point's value by
+// more than a tolerance. This is the paper's empirical claim that "the local
+// optimum is always the global optimum".
+func TestCurveUnimodalEnoughForHillClimbing(t *testing.T) {
+	m := NewKNL()
+	costs := []OpCost{convCost(), streamCost()}
+	for ci, c := range costs {
+		for _, pl := range Placements() {
+			bestSoFar := math.Inf(1)
+			turned := false
+			prev := math.Inf(1)
+			for p := 1; p <= 68; p++ {
+				v := m.SoloTime(c, p, pl)
+				if v > prev {
+					turned = true
+				}
+				if turned && v < bestSoFar*0.999 {
+					t.Fatalf("cost %d %v: curve dips below earlier minimum after turning at p=%d (%v < %v)",
+						ci, pl, p, v, bestSoFar)
+				}
+				if v < bestSoFar {
+					bestSoFar = v
+				}
+				prev = v
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package nn
+
+import "opsched/internal/op"
+
+// BuildDCGAN builds one training step of DCGAN on MNIST (28×28×1, batch 64),
+// following the reference implementation the paper uses: the generator
+// projects a 100-d latent through a dense layer to 7×7×256 and upsamples
+// with two stride-2 transposed convolutions (Conv2DBackpropInput run
+// forward, as in TensorFlow); the discriminator is two stride-2
+// convolutions plus a dense head. One step trains the discriminator on a
+// real batch and trains the generator through the discriminator on a fake
+// batch, so both subnetworks appear forward and backward — which is why
+// Conv2DBackpropInput, Conv2DBackpropFilter and ApplyAdam dominate DCGAN's
+// operation time in the paper's Table VI.
+func BuildDCGAN(batch int) *Model {
+	b := newBuilder("dcgan", op.ApplyAdam)
+
+	// ----- Generator forward: z -> 28×28 image -----
+	z := b.input("z", batch, 100)
+	t := b.matmul(z, 7*7*256, "g/project")
+	t = b.biasAdd(t, "g/project_bias")
+	t = b.reshape(t, batch, 7, 7, 256)
+	t = b.batchNorm(t, "g/bn0")
+	t = b.relu(t, "g/relu0")
+	t = b.deconv(t, 5, 128, 2, "g/deconv1") // 7→14
+	t = b.batchNorm(t, "g/bn1")
+	t = b.relu(t, "g/relu1")
+	t = b.deconv(t, 5, 1, 2, "g/deconv2") // 14→28
+	fake := b.tanh(t, "g/tanh")
+
+	// ----- Discriminator on the fake batch (trains G through D) -----
+	d := discriminator(b, fake, "d_fake")
+	lossG := b.softmaxLoss(d)
+	b.backward(lossG)
+
+	// ----- Discriminator on a real batch (d_loss_real) -----
+	real := b.input("images", batch, 28, 28, 1)
+	d = discriminator(b, real, "d_real")
+	lossD := b.softmaxLoss(d)
+	b.backward(lossD)
+
+	// ----- Discriminator on the fake batch again (d_loss_fake), backward
+	// through D only, as in the reference implementation -----
+	d = discriminator(b, T{fake.ID, fake.Dims}, "d_fake2")
+	lossDF := b.softmaxLoss(d)
+	b.backward(lossDF)
+
+	return &Model{
+		Name:    DCGAN,
+		Dataset: "MNIST",
+		Batch:   batch,
+		Graph:   b.g,
+		Params:  b.nParams,
+	}
+}
+
+// discriminator emits the DCGAN discriminator forward pass.
+func discriminator(b *builder, in T, label string) T {
+	t := b.conv2d(in, 5, 5, 64, 2, label+"/conv1", true) // 28→14
+	t = b.relu(t, label+"/lrelu1")
+	t = b.conv2d(t, 5, 5, 128, 2, label+"/conv2", false) // 14→7
+	t = b.batchNorm(t, label+"/bn2")
+	t = b.relu(t, label+"/lrelu2")
+	t = b.convert(t, op.ToTf)
+	t = b.reshape(t, t.Dims[0], t.Dims[1]*t.Dims[2]*t.Dims[3])
+	t = b.matmul(t, 2, label+"/fc")
+	t = b.biasAdd(t, label+"/fc_bias")
+	return t
+}

@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"fmt"
+
+	"opsched/internal/op"
+)
+
+// BuildInceptionV3 builds one training step of Inception-v3 on
+// ImageNet-sized inputs (299×299×3, 1000 classes), the workload the paper
+// trains with batch size 16. The full module stack is emitted — stem,
+// three 35×35 modules, grid reduction, four 17×17 modules with factorized
+// 7×1/1×7 convolutions, a second reduction and two 8×8 modules — so a step
+// contains on the order of a hundred convolutions whose instances span
+// dozens of distinct input shapes (the paper counts 42 differently-shaped
+// Conv2DBackpropFilter instances per step).
+func BuildInceptionV3(batch int) *Model {
+	b := newBuilder("inception_v3", op.ApplyAdam)
+
+	x := b.input("images", batch, 299, 299, 3)
+
+	// ----- Stem -----
+	t := convBNRelu(b, x, 3, 3, 32, 2, "stem/conv1", true) // 299→150
+	t = convBNRelu(b, t, 3, 3, 32, 1, "stem/conv2", false)
+	t = convBNRelu(b, t, 3, 3, 64, 1, "stem/conv3", false)
+	t = b.pool(t, op.MaxPooling, 2, "stem/pool1") // 150→75
+	t = convBNRelu(b, t, 1, 1, 80, 1, "stem/conv4", false)
+	t = convBNRelu(b, t, 3, 3, 192, 1, "stem/conv5", true)
+	t = b.pool(t, op.MaxPooling, 2, "stem/pool2") // 75→38
+
+	// ----- 3× module A (35×35 grid) -----
+	for i, poolC := range []int{32, 64, 64} {
+		t = moduleA(b, t, poolC, fmt.Sprintf("mixed_a%d", i))
+	}
+
+	// ----- Grid reduction A (35→17) -----
+	t = reductionA(b, t, "reduction_a")
+
+	// ----- 4× module B (17×17 grid, factorized 7×7) -----
+	for i, c7 := range []int{128, 160, 160, 192} {
+		t = moduleB(b, t, c7, fmt.Sprintf("mixed_b%d", i))
+	}
+
+	// ----- Grid reduction B (17→8) -----
+	t = reductionB(b, t, "reduction_b")
+
+	// ----- 2× module C (8×8 grid) -----
+	for i := 0; i < 2; i++ {
+		t = moduleC(b, t, fmt.Sprintf("mixed_c%d", i))
+	}
+
+	// ----- Head -----
+	t = b.pool(t, op.AvgPool, t.Dims[1], "avgpool")
+	t = b.convert(t, op.ToTf)
+	t = b.reshape(t, batch, t.Dims[3])
+	t = b.matmul(t, 1000, "fc")
+	t = b.biasAdd(t, "fc/bias")
+	loss := b.softmaxLoss(t)
+
+	b.backward(loss)
+
+	return &Model{
+		Name:    InceptionV3,
+		Dataset: "ImageNet",
+		Batch:   batch,
+		Graph:   b.g,
+		Params:  b.nParams,
+	}
+}
+
+// convBNRelu is the Inception basic unit: convolution, batch norm, ReLU.
+func convBNRelu(b *builder, in T, kh, kw, cout, stride int, label string, convert bool) T {
+	t := b.conv2dRect(in, kh, kw, cout, stride, label, convert)
+	t = b.batchNorm(t, label+"/bn")
+	return b.relu(t, label+"/relu")
+}
+
+// conv2dRect extends conv2d to rectangular kernels (1×7, 7×1, 1×3, 3×1)
+// used by the factorized Inception modules.
+func (b *builder) conv2dRect(in T, kh, kw, cout, stride int, label string, convert bool) T {
+	return b.conv2d(in, kh, kw, cout, stride, label, convert)
+}
+
+// moduleA is the 35×35 Inception module: 1×1, 5×5, double-3×3 and pooled
+// branches concatenated along channels.
+func moduleA(b *builder, in T, poolC int, label string) T {
+	return b.concatBranches(in, label,
+		func(t T) T { return convBNRelu(b, t, 1, 1, 64, 1, label+"/b1x1", false) },
+		func(t T) T {
+			t = convBNRelu(b, t, 1, 1, 48, 1, label+"/b5x5_1", false)
+			return convBNRelu(b, t, 5, 5, 64, 1, label+"/b5x5_2", false)
+		},
+		func(t T) T {
+			t = convBNRelu(b, t, 1, 1, 64, 1, label+"/b3x3dbl_1", false)
+			t = convBNRelu(b, t, 3, 3, 96, 1, label+"/b3x3dbl_2", false)
+			return convBNRelu(b, t, 3, 3, 96, 1, label+"/b3x3dbl_3", false)
+		},
+		func(t T) T {
+			t = b.pool(t, op.AvgPool, 1, label+"/pool")
+			return convBNRelu(b, t, 1, 1, poolC, 1, label+"/bpool", false)
+		},
+	)
+}
+
+// reductionA shrinks the grid from 35×35 to 17×17.
+func reductionA(b *builder, in T, label string) T {
+	return b.concatBranches(in, label,
+		func(t T) T { return convBNRelu(b, t, 3, 3, 384, 2, label+"/b3x3", false) },
+		func(t T) T {
+			t = convBNRelu(b, t, 1, 1, 64, 1, label+"/b3x3dbl_1", false)
+			t = convBNRelu(b, t, 3, 3, 96, 1, label+"/b3x3dbl_2", false)
+			return convBNRelu(b, t, 3, 3, 96, 2, label+"/b3x3dbl_3", false)
+		},
+		func(t T) T { return b.pool(t, op.MaxPooling, 2, label+"/pool") },
+	)
+}
+
+// moduleB is the 17×17 module with factorized 7×7 convolutions.
+func moduleB(b *builder, in T, c7 int, label string) T {
+	return b.concatBranches(in, label,
+		func(t T) T { return convBNRelu(b, t, 1, 1, 192, 1, label+"/b1x1", false) },
+		func(t T) T {
+			t = convBNRelu(b, t, 1, 1, c7, 1, label+"/b7x7_1", false)
+			t = convBNRelu(b, t, 1, 7, c7, 1, label+"/b7x7_2", false)
+			return convBNRelu(b, t, 7, 1, 192, 1, label+"/b7x7_3", false)
+		},
+		func(t T) T {
+			t = convBNRelu(b, t, 1, 1, c7, 1, label+"/b7x7dbl_1", false)
+			t = convBNRelu(b, t, 7, 1, c7, 1, label+"/b7x7dbl_2", false)
+			t = convBNRelu(b, t, 1, 7, c7, 1, label+"/b7x7dbl_3", false)
+			t = convBNRelu(b, t, 7, 1, c7, 1, label+"/b7x7dbl_4", false)
+			return convBNRelu(b, t, 1, 7, 192, 1, label+"/b7x7dbl_5", false)
+		},
+		func(t T) T {
+			t = b.pool(t, op.AvgPool, 1, label+"/pool")
+			return convBNRelu(b, t, 1, 1, 192, 1, label+"/bpool", false)
+		},
+	)
+}
+
+// reductionB shrinks the grid from 17×17 to 8×8.
+func reductionB(b *builder, in T, label string) T {
+	return b.concatBranches(in, label,
+		func(t T) T {
+			t = convBNRelu(b, t, 1, 1, 192, 1, label+"/b3x3_1", false)
+			return convBNRelu(b, t, 3, 3, 320, 2, label+"/b3x3_2", false)
+		},
+		func(t T) T {
+			t = convBNRelu(b, t, 1, 1, 192, 1, label+"/b7x7x3_1", false)
+			t = convBNRelu(b, t, 1, 7, 192, 1, label+"/b7x7x3_2", false)
+			t = convBNRelu(b, t, 7, 1, 192, 1, label+"/b7x7x3_3", false)
+			return convBNRelu(b, t, 3, 3, 192, 2, label+"/b7x7x3_4", false)
+		},
+		func(t T) T { return b.pool(t, op.MaxPooling, 2, label+"/pool") },
+	)
+}
+
+// moduleC is the 8×8 module with split 1×3/3×1 branches.
+func moduleC(b *builder, in T, label string) T {
+	return b.concatBranches(in, label,
+		func(t T) T { return convBNRelu(b, t, 1, 1, 320, 1, label+"/b1x1", false) },
+		func(t T) T {
+			t = convBNRelu(b, t, 1, 1, 384, 1, label+"/b3x3_1", false)
+			return b.concatBranches(t, label+"/b3x3_split",
+				func(u T) T { return convBNRelu(b, u, 1, 3, 384, 1, label+"/b3x3_2a", false) },
+				func(u T) T { return convBNRelu(b, u, 3, 1, 384, 1, label+"/b3x3_2b", false) },
+			)
+		},
+		func(t T) T {
+			t = convBNRelu(b, t, 1, 1, 448, 1, label+"/b3x3dbl_1", false)
+			t = convBNRelu(b, t, 3, 3, 384, 1, label+"/b3x3dbl_2", false)
+			return b.concatBranches(t, label+"/b3x3dbl_split",
+				func(u T) T { return convBNRelu(b, u, 1, 3, 384, 1, label+"/b3x3dbl_3a", false) },
+				func(u T) T { return convBNRelu(b, u, 3, 1, 384, 1, label+"/b3x3dbl_3b", false) },
+			)
+		},
+		func(t T) T {
+			t = b.pool(t, op.AvgPool, 1, label+"/pool")
+			return convBNRelu(b, t, 1, 1, 192, 1, label+"/bpool", false)
+		},
+	)
+}

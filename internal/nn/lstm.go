@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"fmt"
+
+	"opsched/internal/graph"
+	"opsched/internal/op"
+)
+
+// lstmConfig matches the PTB "small" configuration of the TensorFlow
+// tutorial the paper trains: 2 layers, 200 hidden units, 20 unrolled steps,
+// 10k-word vocabulary.
+const (
+	lstmLayers = 2
+	lstmHidden = 200
+	lstmSteps  = 20
+	lstmVocab  = 10000
+)
+
+// BuildLSTM builds one training step of the 2-layer word-level LSTM on PTB
+// with batch size 20. The unrolled step is a long chain of small MatMul,
+// Sigmoid/Tanh and elementwise Mul/Add operations — none of which scales to
+// a full KNL — capped by a large vocabulary projection and a fused
+// sparse-softmax cross-entropy, which the paper reports as LSTM's most
+// time-consuming operation (Table VI). Because the recurrence shares one
+// weight matrix per layer, the per-timestep weight gradients are
+// accumulated with AddN before the single ApplyAdam update — AddN is
+// likewise in LSTM's top five.
+func BuildLSTM(batch int) *Model {
+	b := newBuilder("lstm", op.ApplyAdam)
+
+	// Embedding lookup for the whole unrolled batch.
+	ids := b.input("token_ids", batch, lstmSteps)
+	x := T{
+		b.g.Add(&op.Op{Kind: op.Gather, Input: op.Dims{batch * lstmSteps, lstmHidden}}, b.name("embedding"), ids.ID),
+		op.Dims{batch * lstmSteps, lstmHidden},
+	}
+	b.push(func(grad T) T {
+		gid := b.g.Add(&op.Op{Kind: op.GatherGrad, Input: op.Dims{batch * lstmSteps, lstmHidden}},
+			b.name("embedding/grad"), grad.ID)
+		b.update(op.Dims{lstmVocab, lstmHidden}, gid, "embedding")
+		return T{gid, ids.Dims}
+	})
+
+	// Unrolled recurrence. The tape's LIFO order yields the usual
+	// backpropagation-through-time structure: layer 2's cells unwind
+	// before layer 1's, later timesteps before earlier ones.
+	layers := make([]*lstmLayer, lstmLayers)
+	steps := make([]T, lstmSteps)
+	for li := range layers {
+		layers[li] = &lstmLayer{dims: op.Dims{2 * lstmHidden, 4 * lstmHidden}}
+		h := b.input(fmt.Sprintf("h0_l%d", li), batch, lstmHidden)
+		c := b.input(fmt.Sprintf("c0_l%d", li), batch, lstmHidden)
+		for s := 0; s < lstmSteps; s++ {
+			var in T
+			if li == 0 {
+				// Slice this timestep's embeddings out of the batch lookup.
+				in = T{
+					b.g.Add(&op.Op{Kind: op.Reshape, Input: op.Dims{batch, lstmHidden}},
+						b.name(fmt.Sprintf("slice_t%d", s)), x.ID),
+					op.Dims{batch, lstmHidden},
+				}
+				b.push(func(grad T) T { return grad })
+			} else {
+				in = steps[s]
+			}
+			h, c = lstmCell(b, in, h, c, layers[li], fmt.Sprintf("l%d_t%d", li, s))
+			steps[s] = h
+		}
+	}
+
+	// Concatenate per-step outputs, project to the vocabulary and apply
+	// the fused loss.
+	outDeps := make([]graph.NodeID, lstmSteps)
+	for i, s := range steps {
+		outDeps[i] = s.ID
+	}
+	concat := T{
+		b.g.Add(&op.Op{Kind: op.Concat, Input: op.Dims{batch, lstmHidden}, NumInputs: lstmSteps},
+			b.name("concat_outputs"), outDeps...),
+		op.Dims{batch * lstmSteps, lstmHidden},
+	}
+	b.push(func(grad T) T {
+		slice := b.g.Add(&op.Op{Kind: op.Concat, Input: op.Dims{batch, lstmHidden}, NumInputs: lstmSteps},
+			b.name("grad_slice_outputs"), grad.ID)
+		return T{slice, op.Dims{batch, lstmHidden}}
+	})
+
+	logits := b.matmul(concat, lstmVocab, "softmax/project")
+	logits = b.biasAdd(logits, "softmax/bias")
+	loss := b.softmaxLoss(logits)
+
+	b.backward(loss)
+
+	// Shared-weight updates: accumulate the per-timestep gradients of each
+	// layer with AddN, then apply one optimizer update per weight tensor.
+	for li, layer := range layers {
+		label := fmt.Sprintf("l%d", li)
+		wsum := b.g.Add(&op.Op{Kind: op.AddN, Input: layer.dims.Clone(), NumInputs: len(layer.gradW)},
+			b.name(label+"/gradw_sum"), layer.gradW...)
+		b.update(layer.dims, wsum, label+"/w")
+		bsum := b.g.Add(&op.Op{Kind: op.AddN, Input: op.Dims{4 * lstmHidden}, NumInputs: len(layer.gradB)},
+			b.name(label+"/gradb_sum"), layer.gradB...)
+		b.update(op.Dims{4 * lstmHidden}, bsum, label+"/b")
+	}
+
+	return &Model{
+		Name:    LSTM,
+		Dataset: "PTB",
+		Batch:   batch,
+		Graph:   b.g,
+		Params:  b.nParams,
+	}
+}
+
+// lstmLayer collects the per-timestep gradient nodes of a layer's shared
+// weights.
+type lstmLayer struct {
+	dims  op.Dims // (2H, 4H) gate weight matrix
+	gradW []graph.NodeID
+	gradB []graph.NodeID
+}
+
+// lstmCell emits one LSTM cell forward — gates = σ/tanh(W·[x,h] + b)
+// followed by the elementwise state update — and registers its backward
+// emitter.
+func lstmCell(b *builder, x, h, c T, layer *lstmLayer, label string) (hOut, cOut T) {
+	batch := x.Dims[0]
+	hd := lstmHidden
+	dims := op.Dims{batch, hd}
+	gateDims := op.Dims{batch, 4 * hd}
+
+	cc := b.g.Add(&op.Op{Kind: op.Concat, Input: dims.Clone(), NumInputs: 2}, b.name(label+"/concat"), x.ID, h.ID)
+	gates := b.g.Add(&op.Op{Kind: op.MatMul, Input: op.Dims{batch, 2 * hd}, Filter: layer.dims.Clone()},
+		b.name(label+"/gates"), cc)
+	ba := b.g.Add(&op.Op{Kind: op.BiasAdd, Input: gateDims.Clone()}, b.name(label+"/bias"), gates)
+
+	i := b.g.Add(&op.Op{Kind: op.Sigmoid, Input: dims.Clone()}, b.name(label+"/i"), ba)
+	f := b.g.Add(&op.Op{Kind: op.Sigmoid, Input: dims.Clone()}, b.name(label+"/f"), ba)
+	o := b.g.Add(&op.Op{Kind: op.Sigmoid, Input: dims.Clone()}, b.name(label+"/o"), ba)
+	g := b.g.Add(&op.Op{Kind: op.Tanh, Input: dims.Clone()}, b.name(label+"/g"), ba)
+
+	fc := b.g.Add(&op.Op{Kind: op.Mul, Input: dims.Clone()}, b.name(label+"/fc"), f, c.ID)
+	ig := b.g.Add(&op.Op{Kind: op.Mul, Input: dims.Clone()}, b.name(label+"/ig"), i, g)
+	cNew := b.g.Add(&op.Op{Kind: op.Add, Input: dims.Clone()}, b.name(label+"/c"), fc, ig)
+	tc := b.g.Add(&op.Op{Kind: op.Tanh, Input: dims.Clone()}, b.name(label+"/tanh_c"), cNew)
+	hNew := b.g.Add(&op.Op{Kind: op.Mul, Input: dims.Clone()}, b.name(label+"/h"), o, tc)
+
+	b.push(func(grad T) T {
+		gtc := b.g.Add(&op.Op{Kind: op.TanhGrad, Input: dims.Clone()}, b.name(label+"/grad_tanh_c"), grad.ID, tc)
+		go_ := b.g.Add(&op.Op{Kind: op.Mul, Input: dims.Clone()}, b.name(label+"/grad_o"), grad.ID, o)
+		gi := b.g.Add(&op.Op{Kind: op.SigmoidGrad, Input: dims.Clone()}, b.name(label+"/grad_i"), gtc, i)
+		gf := b.g.Add(&op.Op{Kind: op.SigmoidGrad, Input: dims.Clone()}, b.name(label+"/grad_f"), gtc, f)
+		gg := b.g.Add(&op.Op{Kind: op.TanhGrad, Input: dims.Clone()}, b.name(label+"/grad_g"), gtc, g)
+		goS := b.g.Add(&op.Op{Kind: op.SigmoidGrad, Input: dims.Clone()}, b.name(label+"/grad_o_sig"), go_)
+		gGates := b.g.Add(&op.Op{Kind: op.Concat, Input: dims.Clone(), NumInputs: 4},
+			b.name(label+"/grad_gates"), gi, gf, gg, goS)
+
+		gb := b.g.Add(&op.Op{Kind: op.BiasAddGrad, Input: gateDims.Clone()}, b.name(label+"/grad_bias"), gGates)
+		layer.gradB = append(layer.gradB, gb)
+		gw := b.g.Add(&op.Op{Kind: op.MatMul, Input: op.Dims{2 * hd, batch}, Filter: gateDims.Clone()},
+			b.name(label+"/grad_w"), gGates, cc)
+		layer.gradW = append(layer.gradW, gw)
+		gin := b.g.Add(&op.Op{Kind: op.MatMul, Input: gateDims.Clone(), Filter: op.Dims{4 * hd, 2 * hd}},
+			b.name(label+"/grad_in"), gGates)
+		return T{gin, dims}
+	})
+
+	return T{hNew, dims}, T{cNew, dims}
+}

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+
+	"opsched/internal/graph"
+)
+
+// Model is one of the paper's training workloads: a per-step dataflow graph
+// plus its dataset metadata.
+type Model struct {
+	// Name is the workload name as the paper prints it.
+	Name string
+	// Dataset is the training dataset of §IV-A.
+	Dataset string
+	// Batch is the per-step batch size of §IV-A.
+	Batch int
+	// Graph is the dataflow graph of one training step (forward, backward
+	// and parameter updates).
+	Graph *graph.Graph
+	// Params is the number of parameter tensors receiving optimizer updates.
+	Params int
+}
+
+// The paper's four workloads.
+const (
+	ResNet50    = "ResNet-50"
+	DCGAN       = "DCGAN"
+	InceptionV3 = "Inception-v3"
+	LSTM        = "LSTM"
+)
+
+// Names lists the four workloads in the paper's order.
+func Names() []string { return []string{ResNet50, DCGAN, InceptionV3, LSTM} }
+
+// Build constructs the named workload with its paper batch size
+// (ResNet-50: 64, DCGAN: 64, Inception-v3: 16, LSTM: 20).
+func Build(name string) (*Model, error) {
+	switch name {
+	case ResNet50:
+		return BuildResNet50(64), nil
+	case DCGAN:
+		return BuildDCGAN(64), nil
+	case InceptionV3:
+		return BuildInceptionV3(16), nil
+	case LSTM:
+		return BuildLSTM(20), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown model %q (have %v)", name, Names())
+	}
+}
+
+// MustBuild is Build that panics on an unknown name; intended for
+// experiment harnesses driven by the fixed workload list.
+func MustBuild(name string) *Model {
+	m, err := Build(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// BuildAll constructs all four workloads at their paper batch sizes.
+func BuildAll() []*Model {
+	ms := make([]*Model, 0, 4)
+	for _, n := range Names() {
+		ms = append(ms, MustBuild(n))
+	}
+	return ms
+}
+
+// Summary renders a short operation-mix description for logs and docs.
+func (m *Model) Summary() string {
+	s := m.Graph.Stats()
+	kinds := make([]string, 0, len(s.ByKind))
+	for _, k := range s.TopKinds(5) {
+		kinds = append(kinds, fmt.Sprintf("%s×%d", k, s.ByKind[k]))
+	}
+	sort.Strings(kinds)
+	return fmt.Sprintf("%s (%s, batch %d): %d ops, %d edges, %d shapes, top kinds %v",
+		m.Name, m.Dataset, m.Batch, s.Nodes, s.Edges, s.Signatures, kinds)
+}

@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"opsched/internal/op"
+)
+
+func TestBuildAllValidGraphs(t *testing.T) {
+	for _, m := range BuildAll() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			if err := m.Graph.Validate(); err != nil {
+				t.Fatalf("graph invalid: %v", err)
+			}
+			if m.Params <= 0 {
+				t.Error("no parameter updates recorded")
+			}
+			s := m.Graph.Stats()
+			if s.Nodes < 120 {
+				t.Errorf("suspiciously small graph: %d nodes", s.Nodes)
+			}
+			if upd := s.ByKind[op.ApplyAdam]; upd != m.Params {
+				t.Errorf("ApplyAdam nodes %d != recorded params %d", upd, m.Params)
+			}
+			if m.Summary() == "" {
+				t.Error("empty summary")
+			}
+		})
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("AlexNet"); err == nil {
+		t.Error("Build(unknown) should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild(unknown) should panic")
+		}
+	}()
+	MustBuild("AlexNet")
+}
+
+func TestNamesAndRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("Names() = %v, want 4 workloads", names)
+	}
+	for _, n := range names {
+		if _, err := Build(n); err != nil {
+			t.Errorf("Build(%q) failed: %v", n, err)
+		}
+	}
+}
+
+// TestResNetOpMix checks that ResNet-50's graph carries the operation kinds
+// of the paper's Table VI top-five (Conv2DBackpropFilter, InputConversion,
+// Tile, Mul, ToTf) and a realistic convolution count.
+func TestResNetOpMix(t *testing.T) {
+	m := BuildResNet50(64)
+	s := m.Graph.Stats()
+	for _, k := range []op.Kind{
+		op.Conv2D, op.Conv2DBackpropFilter, op.Conv2DBackpropInput,
+		op.InputConversion, op.ToTf, op.Tile, op.Mul, op.FusedBatchNorm,
+		op.AddN, op.ApplyAdam, op.SparseSoftmaxCross,
+	} {
+		if s.ByKind[k] == 0 {
+			t.Errorf("ResNet-50 graph has no %s nodes", k)
+		}
+	}
+	// 53 convolutions: 16 bottlenecks x3 + 4 projections + stem.
+	if got := s.ByKind[op.Conv2D]; got != 53 {
+		t.Errorf("Conv2D count = %d, want 53", got)
+	}
+	if s.ByKind[op.Conv2DBackpropFilter] != s.ByKind[op.Conv2D] {
+		t.Errorf("every conv needs a filter gradient: CBF %d vs Conv2D %d",
+			s.ByKind[op.Conv2DBackpropFilter], s.ByKind[op.Conv2D])
+	}
+}
+
+// TestConvBackwardSiblings verifies the co-run opportunity of Table III:
+// for every convolution, Conv2DBackpropFilter and Conv2DBackpropInput are
+// siblings — they share the incoming gradient and neither depends on the
+// other.
+func TestConvBackwardSiblings(t *testing.T) {
+	m := BuildResNet50(64)
+	g := m.Graph
+	pairs := 0
+	for _, n := range g.Nodes() {
+		if n.Op.Kind != op.Conv2DBackpropFilter {
+			continue
+		}
+		base := strings.TrimSuffix(n.Name, "/grad_filter"+n.Name[strings.LastIndex(n.Name, "_"):])
+		_ = base
+		// The matching grad_input node is created right after grad_filter
+		// by the builder; check adjacency and independence.
+		sib := g.Node(n.ID + 2) // grad_filter, update, grad_input
+		if sib == nil || sib.Op.Kind != op.Conv2DBackpropInput {
+			continue
+		}
+		pairs++
+		for _, d := range sib.Deps() {
+			if d == n.ID {
+				t.Errorf("grad_input %d depends on grad_filter %d; should be siblings", sib.ID, n.ID)
+			}
+		}
+	}
+	if pairs < 40 {
+		t.Errorf("found only %d CBF/CBI sibling pairs, want most of the 53 convs", pairs)
+	}
+}
+
+// TestInceptionShapeDiversity mirrors the paper's observation that
+// Inception-v3 has dozens of differently-shaped Conv2DBackpropFilter
+// instances in one step.
+func TestInceptionShapeDiversity(t *testing.T) {
+	m := BuildInceptionV3(16)
+	sigs := make(map[string]struct{})
+	count := 0
+	for _, n := range m.Graph.Nodes() {
+		if n.Op.Kind == op.Conv2DBackpropFilter {
+			count++
+			sigs[n.Op.Signature()] = struct{}{}
+		}
+	}
+	if count < 80 {
+		t.Errorf("Inception-v3 CBF instances = %d, want ~94", count)
+	}
+	if len(sigs) < 30 {
+		t.Errorf("distinct CBF shapes = %d, paper reports 42 differently-sized instances", len(sigs))
+	}
+}
+
+// TestLSTMSmallOps verifies that LSTM is made of small operations — the
+// paper's explanation for why Strategy 4 finds no co-run opportunity — and
+// contains the AddN gradient accumulations of shared weights.
+func TestLSTMSmallOps(t *testing.T) {
+	m := BuildLSTM(20)
+	s := m.Graph.Stats()
+	if s.ByKind[op.MatMul] < 3*lstmLayers*lstmSteps {
+		t.Errorf("MatMul count = %d, want >= %d (3 per cell)", s.ByKind[op.MatMul], 3*lstmLayers*lstmSteps)
+	}
+	if s.ByKind[op.AddN] < 2 {
+		t.Errorf("AddN count = %d, want the shared-weight accumulations", s.ByKind[op.AddN])
+	}
+	if s.ByKind[op.SparseSoftmaxCross] != 1 {
+		t.Errorf("SparseSoftmaxCross count = %d, want 1", s.ByKind[op.SparseSoftmaxCross])
+	}
+	// The biggest single operation should be the vocabulary projection or
+	// the loss, not a recurrence op.
+	var maxWork float64
+	var maxKind op.Kind
+	for _, n := range m.Graph.Nodes() {
+		if w := n.Op.Cost().WorkNs; w > maxWork {
+			maxWork, maxKind = w, n.Op.Kind
+		}
+	}
+	if maxKind != op.SparseSoftmaxCross && maxKind != op.MatMul {
+		t.Errorf("heaviest LSTM op is %s, want the projection/loss", maxKind)
+	}
+}
+
+// TestDCGANMix verifies DCGAN's table-VI flavour: transposed convolutions
+// (Conv2DBackpropInput run forward) and optimizer updates are prominent.
+func TestDCGANMix(t *testing.T) {
+	m := BuildDCGAN(64)
+	s := m.Graph.Stats()
+	if s.ByKind[op.Conv2DBackpropInput] < 2 {
+		t.Errorf("DCGAN should contain deconvolutions, got %d CBI nodes", s.ByKind[op.Conv2DBackpropInput])
+	}
+	if s.ByKind[op.ApplyAdam] < 10 {
+		t.Errorf("ApplyAdam count = %d, want >= 10", s.ByKind[op.ApplyAdam])
+	}
+	if s.ByKind[op.Conv2D] < 4 {
+		t.Errorf("Conv2D count = %d, want both discriminator passes plus deconv grads", s.ByKind[op.Conv2D])
+	}
+}
+
+// TestDeterministicConstruction: building the same model twice yields
+// byte-identical structure (node count, kinds, edges) — required for
+// reproducible experiments.
+func TestDeterministicConstruction(t *testing.T) {
+	a := BuildResNet50(64)
+	b := BuildResNet50(64)
+	na, nb := a.Graph.Nodes(), b.Graph.Nodes()
+	if len(na) != len(nb) {
+		t.Fatalf("node counts differ: %d vs %d", len(na), len(nb))
+	}
+	for i := range na {
+		if na[i].Op.Kind != nb[i].Op.Kind || na[i].Op.Signature() != nb[i].Op.Signature() {
+			t.Fatalf("node %d differs: %s vs %s", i, na[i].Op.Signature(), nb[i].Op.Signature())
+		}
+		if len(na[i].Deps()) != len(nb[i].Deps()) {
+			t.Fatalf("node %d dep counts differ", i)
+		}
+	}
+}
+
+// TestBatchScalesCost: doubling the batch size increases total graph work.
+func TestBatchScalesCost(t *testing.T) {
+	small := BuildResNet50(32)
+	large := BuildResNet50(64)
+	var ws, wl float64
+	for _, n := range small.Graph.Nodes() {
+		ws += n.Op.Cost().WorkNs
+	}
+	for _, n := range large.Graph.Nodes() {
+		wl += n.Op.Cost().WorkNs
+	}
+	if wl <= ws {
+		t.Errorf("total work did not grow with batch: %v vs %v", wl, ws)
+	}
+}

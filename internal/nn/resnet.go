@@ -1,0 +1,89 @@
+package nn
+
+import "opsched/internal/op"
+
+// BuildResNet50 builds one training step of ResNet-50 adapted to CIFAR-10
+// (32×32×3 inputs, 10 classes), the configuration the paper trains with
+// batch size 64. The network is the standard [3,4,6,3] bottleneck stack:
+// each bottleneck is 1×1 reduce → 3×3 → 1×1 expand with batch norm and
+// ReLU, plus an identity or 1×1-projection shortcut.
+func BuildResNet50(batch int) *Model {
+	b := newBuilder("resnet50", op.ApplyAdam)
+
+	x := b.input("images", batch, 32, 32, 3)
+
+	// Stem: CIFAR variants use a single 3×3 stride-1 convolution.
+	t := b.conv2d(x, 3, 3, 64, 1, "stem", true)
+	t = b.batchNorm(t, "stem/bn")
+	t = b.relu(t, "stem/relu")
+
+	stages := []struct {
+		blocks, channels, stride int
+	}{
+		{3, 64, 1},
+		{4, 128, 2},
+		{6, 256, 2},
+		{3, 512, 2},
+	}
+	for si, st := range stages {
+		for bi := 0; bi < st.blocks; bi++ {
+			stride := 1
+			if bi == 0 {
+				stride = st.stride
+			}
+			t = bottleneck(b, t, st.channels, stride, bi == 0, blockLabel(si, bi))
+		}
+	}
+
+	// Global average pool and the classifier head.
+	t = b.pool(t, op.AvgPool, t.Dims[1], "avgpool")
+	t = b.convert(t, op.ToTf)
+	t = b.reshape(t, batch, t.Dims[3])
+	t = b.matmul(t, 10, "fc")
+	t = b.biasAdd(t, "fc/bias")
+	loss := b.softmaxLoss(t)
+
+	b.backward(loss)
+
+	return &Model{
+		Name:    ResNet50,
+		Dataset: "CIFAR-10",
+		Batch:   batch,
+		Graph:   b.g,
+		Params:  b.nParams,
+	}
+}
+
+func blockLabel(stage, block int) string {
+	return "res" + string(rune('2'+stage)) + "_" + string(rune('a'+block))
+}
+
+// bottleneck emits one residual bottleneck block: the 1×1/3×3/1×1 main path
+// and an identity (or projection) shortcut, merged by Add. Its backward
+// pass forks the gradient through both paths and re-merges with AddN,
+// creating the graph width the paper's co-run scheduler exploits.
+func bottleneck(b *builder, in T, channels, stride int, project bool, label string) T {
+	out4 := channels * 4
+	res := b.residual(in, label,
+		func(t T) T {
+			t = b.conv2d(t, 1, 1, channels, stride, label+"/conv1", false)
+			t = b.batchNorm(t, label+"/bn1")
+			t = b.relu(t, label+"/relu1")
+			t = b.conv2d(t, 3, 3, channels, 1, label+"/conv2", true)
+			t = b.batchNorm(t, label+"/bn2")
+			t = b.relu(t, label+"/relu2")
+			t = b.conv2d(t, 1, 1, out4, 1, label+"/conv3", false)
+			t = b.batchNorm(t, label+"/bn3")
+			return t
+		},
+		func(t T) T {
+			if !project {
+				return t // identity shortcut
+			}
+			t = b.conv2d(t, 1, 1, out4, stride, label+"/proj", false)
+			t = b.batchNorm(t, label+"/proj_bn")
+			return t
+		},
+	)
+	return b.relu(res, label+"/relu_out")
+}

@@ -1,0 +1,151 @@
+package op
+
+// Kind identifies an operation primitive. Names follow the TensorFlow
+// operation names the paper reports in its tables (InputConversion and ToTf
+// are the MKL-DNN layout conversion ops that appear among ResNet-50's and
+// Inception-v3's most time-consuming operations).
+type Kind string
+
+// The operation kinds appearing in the paper's four workloads.
+const (
+	Conv2D               Kind = "Conv2D"
+	Conv2DBackpropFilter Kind = "Conv2DBackpropFilter"
+	Conv2DBackpropInput  Kind = "Conv2DBackpropInput"
+	MatMul               Kind = "MatMul"
+	BiasAdd              Kind = "BiasAdd"
+	BiasAddGrad          Kind = "BiasAddGrad"
+	FusedBatchNorm       Kind = "FusedBatchNorm"
+	FusedBatchNormGrad   Kind = "FusedBatchNormGrad"
+	MaxPooling           Kind = "MaxPooling"
+	MaxPoolingGrad       Kind = "MaxPoolingGrad"
+	AvgPool              Kind = "AvgPool"
+	AvgPoolGrad          Kind = "AvgPoolGrad"
+	Relu                 Kind = "Relu"
+	ReluGrad             Kind = "ReluGrad"
+	Tanh                 Kind = "Tanh"
+	TanhGrad             Kind = "TanhGrad"
+	Sigmoid              Kind = "Sigmoid"
+	SigmoidGrad          Kind = "SigmoidGrad"
+	Add                  Kind = "Add"
+	AddN                 Kind = "AddN"
+	Mul                  Kind = "Mul"
+	Tile                 Kind = "Tile"
+	Concat               Kind = "Concat"
+	Pad                  Kind = "Pad"
+	ApplyAdam            Kind = "ApplyAdam"
+	ApplyGradientDescent Kind = "ApplyGradientDescent"
+	Softmax              Kind = "Softmax"
+	SparseSoftmaxCross   Kind = "SparseSoftmaxCross"
+	InputConversion      Kind = "InputConversion"
+	ToTf                 Kind = "ToTf"
+	Gather               Kind = "Gather"
+	GatherGrad           Kind = "GatherGrad"
+	Reshape              Kind = "Reshape"
+)
+
+// kindParams are the per-kind calibration constants of the cost model.
+//
+//   - nsPerFlop: single-thread nanoseconds per abstract FLOP (inverse kernel
+//     efficiency: convolutions are blocked and vectorized, transcendentals
+//     and gather/scatter kernels are much slower per element);
+//   - serialFrac: Amdahl fraction (kernel setup, reductions, framework glue);
+//   - spawnNs: per-thread OpenMP spawn/bind/barrier cost. MKL-DNN kernels pay
+//     tens of microseconds on KNL — the paper names this as one of the two
+//     reasons operations stop scaling;
+//   - shareFrac: fraction of a thread's working set shared with the
+//     neighbouring thread (weights and halos for convolutions; none for
+//     streaming elementwise ops);
+//   - missBase: compulsory LLC miss fraction when the working set fits;
+//   - trafficMul: memory traffic as a multiple of the tensor footprint
+//     (backward kernels re-read activations; layout conversions touch
+//     everything twice).
+type kindParams struct {
+	nsPerFlop  float64
+	serialFrac float64
+	spawnNs    float64
+	shareFrac  float64
+	missBase   float64
+	trafficMul float64
+}
+
+// params holds the calibrated constants. Calibration targets the paper's
+// measurements: the three convolution kernels of Figure 1/Table II have
+// interior thread optima (≈26/36/45 at input (32,8,8,384)) and millisecond
+// -scale times; elementwise ops are memory-bound; conversions stream.
+var params = map[Kind]kindParams{
+	Conv2D:               {nsPerFlop: 0.0052, serialFrac: 0.075, spawnNs: 26e3, shareFrac: 0.70, missBase: 0.20, trafficMul: 1.0},
+	Conv2DBackpropFilter: {nsPerFlop: 0.0065, serialFrac: 0.134, spawnNs: 45e3, shareFrac: 0.60, missBase: 0.30, trafficMul: 1.6},
+	Conv2DBackpropInput:  {nsPerFlop: 0.0058, serialFrac: 0.105, spawnNs: 34e3, shareFrac: 0.65, missBase: 0.25, trafficMul: 1.3},
+	MatMul:               {nsPerFlop: 0.0045, serialFrac: 0.06, spawnNs: 8e3, shareFrac: 0.75, missBase: 0.15, trafficMul: 1.0},
+	BiasAdd:              {nsPerFlop: 0.25, serialFrac: 0.03, spawnNs: 6e3, shareFrac: 0.05, missBase: 0.85, trafficMul: 2.0},
+	BiasAddGrad:          {nsPerFlop: 0.35, serialFrac: 0.12, spawnNs: 6e3, shareFrac: 0.10, missBase: 0.85, trafficMul: 1.0},
+	FusedBatchNorm:       {nsPerFlop: 0.10, serialFrac: 0.06, spawnNs: 18e3, shareFrac: 0.15, missBase: 0.75, trafficMul: 2.0},
+	FusedBatchNormGrad:   {nsPerFlop: 0.12, serialFrac: 0.08, spawnNs: 18e3, shareFrac: 0.15, missBase: 0.75, trafficMul: 2.5},
+	MaxPooling:           {nsPerFlop: 0.11, serialFrac: 0.05, spawnNs: 8e3, shareFrac: 0.30, missBase: 0.70, trafficMul: 1.2},
+	MaxPoolingGrad:       {nsPerFlop: 0.13, serialFrac: 0.06, spawnNs: 8e3, shareFrac: 0.30, missBase: 0.70, trafficMul: 1.6},
+	AvgPool:              {nsPerFlop: 0.11, serialFrac: 0.05, spawnNs: 8e3, shareFrac: 0.30, missBase: 0.70, trafficMul: 1.2},
+	AvgPoolGrad:          {nsPerFlop: 0.12, serialFrac: 0.06, spawnNs: 8e3, shareFrac: 0.30, missBase: 0.70, trafficMul: 1.6},
+	Relu:                 {nsPerFlop: 0.22, serialFrac: 0.02, spawnNs: 6e3, shareFrac: 0.02, missBase: 0.90, trafficMul: 2.0},
+	ReluGrad:             {nsPerFlop: 0.24, serialFrac: 0.02, spawnNs: 6e3, shareFrac: 0.02, missBase: 0.90, trafficMul: 3.0},
+	Tanh:                 {nsPerFlop: 0.09, serialFrac: 0.02, spawnNs: 6e3, shareFrac: 0.02, missBase: 0.85, trafficMul: 2.0},
+	TanhGrad:             {nsPerFlop: 0.10, serialFrac: 0.02, spawnNs: 6e3, shareFrac: 0.02, missBase: 0.85, trafficMul: 3.0},
+	Sigmoid:              {nsPerFlop: 0.09, serialFrac: 0.02, spawnNs: 6e3, shareFrac: 0.02, missBase: 0.85, trafficMul: 2.0},
+	SigmoidGrad:          {nsPerFlop: 0.10, serialFrac: 0.02, spawnNs: 6e3, shareFrac: 0.02, missBase: 0.85, trafficMul: 3.0},
+	Add:                  {nsPerFlop: 0.20, serialFrac: 0.02, spawnNs: 6e3, shareFrac: 0.02, missBase: 0.90, trafficMul: 3.0},
+	AddN:                 {nsPerFlop: 0.20, serialFrac: 0.03, spawnNs: 6e3, shareFrac: 0.02, missBase: 0.90, trafficMul: 1.0},
+	Mul:                  {nsPerFlop: 0.20, serialFrac: 0.02, spawnNs: 6e3, shareFrac: 0.02, missBase: 0.90, trafficMul: 3.0},
+	Tile:                 {nsPerFlop: 0.30, serialFrac: 0.04, spawnNs: 7e3, shareFrac: 0.02, missBase: 0.95, trafficMul: 2.0},
+	Concat:               {nsPerFlop: 0.25, serialFrac: 0.03, spawnNs: 7e3, shareFrac: 0.02, missBase: 0.95, trafficMul: 2.0},
+	Pad:                  {nsPerFlop: 0.25, serialFrac: 0.03, spawnNs: 7e3, shareFrac: 0.02, missBase: 0.95, trafficMul: 2.0},
+	ApplyAdam:            {nsPerFlop: 0.16, serialFrac: 0.04, spawnNs: 6e3, shareFrac: 0.02, missBase: 0.90, trafficMul: 4.0},
+	ApplyGradientDescent: {nsPerFlop: 0.14, serialFrac: 0.03, spawnNs: 6e3, shareFrac: 0.02, missBase: 0.90, trafficMul: 3.0},
+	Softmax:              {nsPerFlop: 0.12, serialFrac: 0.05, spawnNs: 4e3, shareFrac: 0.05, missBase: 0.80, trafficMul: 2.0},
+	SparseSoftmaxCross:   {nsPerFlop: 2.0, serialFrac: 0.08, spawnNs: 40e3, shareFrac: 0.05, missBase: 0.80, trafficMul: 2.0},
+	InputConversion:      {nsPerFlop: 0.28, serialFrac: 0.05, spawnNs: 8e3, shareFrac: 0.05, missBase: 0.95, trafficMul: 2.0},
+	ToTf:                 {nsPerFlop: 0.28, serialFrac: 0.05, spawnNs: 8e3, shareFrac: 0.05, missBase: 0.95, trafficMul: 2.0},
+	Gather:               {nsPerFlop: 0.40, serialFrac: 0.06, spawnNs: 4e3, shareFrac: 0.02, missBase: 0.95, trafficMul: 1.5},
+	GatherGrad:           {nsPerFlop: 0.45, serialFrac: 0.10, spawnNs: 4e3, shareFrac: 0.02, missBase: 0.95, trafficMul: 1.5},
+	Reshape:              {nsPerFlop: 0.05, serialFrac: 0.50, spawnNs: 1e3, shareFrac: 0.02, missBase: 0.50, trafficMul: 0.1},
+}
+
+// Kinds returns every operation kind in the catalog, in a stable order.
+func Kinds() []Kind {
+	return []Kind{
+		Conv2D, Conv2DBackpropFilter, Conv2DBackpropInput, MatMul,
+		BiasAdd, BiasAddGrad, FusedBatchNorm, FusedBatchNormGrad,
+		MaxPooling, MaxPoolingGrad, AvgPool, AvgPoolGrad,
+		Relu, ReluGrad, Tanh, TanhGrad, Sigmoid, SigmoidGrad,
+		Add, AddN, Mul, Tile, Concat, Pad,
+		ApplyAdam, ApplyGradientDescent, Softmax, SparseSoftmaxCross,
+		InputConversion, ToTf, Gather, GatherGrad, Reshape,
+	}
+}
+
+// Known reports whether k is a catalog operation kind.
+func (k Kind) Known() bool {
+	_, ok := params[k]
+	return ok
+}
+
+// IsConv reports whether k is one of the three convolution kernels the
+// paper studies standalone.
+func (k Kind) IsConv() bool {
+	return k == Conv2D || k == Conv2DBackpropFilter || k == Conv2DBackpropInput
+}
+
+// IsMKL reports whether the kind is implemented by MKL-DNN in the paper's
+// setup. The paper only retunes intra-op parallelism for MKL-DNN operations
+// (Eigen ops pay a large re-parallelization cost); those take >70% of
+// training time.
+func (k Kind) IsMKL() bool {
+	switch k {
+	case Conv2D, Conv2DBackpropFilter, Conv2DBackpropInput, MatMul,
+		BiasAdd, BiasAddGrad, FusedBatchNorm, FusedBatchNormGrad,
+		MaxPooling, MaxPoolingGrad, AvgPool, AvgPoolGrad,
+		Relu, ReluGrad, InputConversion, ToTf, Add, Mul, AddN,
+		ApplyAdam, ApplyGradientDescent, SparseSoftmaxCross:
+		return true
+	default:
+		return false
+	}
+}

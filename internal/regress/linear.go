@@ -1,0 +1,322 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// OLS is ordinary least squares with an intercept, solved via
+// ridge-stabilized normal equations (tiny diagonal loading keeps
+// near-collinear counter features from blowing up the solve).
+type OLS struct {
+	// Lambda is the diagonal loading; zero means 1e-8 of the trace.
+	Lambda float64
+
+	coef []float64 // intercept first
+}
+
+// Name implements Regressor.
+func (o *OLS) Name() string { return "OLS" }
+
+// Fit implements Regressor.
+func (o *OLS) Fit(X [][]float64, y []float64) error {
+	rows, cols, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	d := cols + 1 // intercept
+	// Normal equations: (AᵀA + λI) w = Aᵀy with A = [1 | X].
+	ata := make([][]float64, d)
+	for i := range ata {
+		ata[i] = make([]float64, d)
+	}
+	aty := make([]float64, d)
+	row := make([]float64, d)
+	for r := 0; r < rows; r++ {
+		row[0] = 1
+		copy(row[1:], X[r])
+		for i := 0; i < d; i++ {
+			aty[i] += row[i] * y[r]
+			for j := 0; j < d; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	lambda := o.Lambda
+	if lambda <= 0 {
+		tr := 0.0
+		for i := 0; i < d; i++ {
+			tr += ata[i][i]
+		}
+		lambda = 1e-8 * (tr/float64(d) + 1)
+	}
+	for i := 0; i < d; i++ {
+		ata[i][i] += lambda
+	}
+	w, err := solve(ata, aty)
+	if err != nil {
+		return err
+	}
+	o.coef = w
+	return nil
+}
+
+// Predict implements Regressor.
+func (o *OLS) Predict(x []float64) float64 {
+	if len(o.coef) == 0 {
+		return math.NaN()
+	}
+	v := o.coef[0]
+	for i, xi := range x {
+		if i+1 < len(o.coef) {
+			v += o.coef[i+1] * xi
+		}
+	}
+	return v
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// the inputs.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-300 {
+			return nil, errors.New("regress: singular system")
+		}
+		m[col], m[p] = m[p], m[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := m[i][n]
+		for j := i + 1; j < n; j++ {
+			v -= m[i][j] * x[j]
+		}
+		x[i] = v / m[i][i]
+	}
+	return x, nil
+}
+
+// PAR is the passive-aggressive regressor (PA-II) trained by several
+// epochs of online updates: when the ε-insensitive loss is positive the
+// weights move just enough (damped by C) to fix the example.
+type PAR struct {
+	// Epsilon is the insensitivity band as a fraction of the target scale;
+	// zero means 0.05.
+	Epsilon float64
+	// C is the aggressiveness; zero means 0.1.
+	C float64
+	// Epochs is the number of passes; zero means 10.
+	Epochs int
+
+	coef  []float64
+	scale float64
+	std   *standardizer
+}
+
+// Name implements Regressor.
+func (p *PAR) Name() string { return "PAR" }
+
+// Fit implements Regressor. Features are z-scored internally: the online
+// updates diverge when feature magnitudes span decades.
+func (p *PAR) Fit(X [][]float64, y []float64) error {
+	rows, _, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	eps, c, epochs := p.Epsilon, p.C, p.Epochs
+	if eps <= 0 {
+		eps = 0.05
+	}
+	if c <= 0 {
+		c = 0.1
+	}
+	if epochs <= 0 {
+		epochs = 10
+	}
+	p.std = fitStandardizer(X)
+	Xs := p.std.transformAll(X)
+
+	// Scale targets so epsilon is meaningful across magnitudes.
+	p.scale = 0
+	for _, v := range y {
+		p.scale += math.Abs(v)
+	}
+	p.scale = p.scale/float64(rows) + 1e-12
+
+	w := make([]float64, len(Xs[0])+1)
+	for e := 0; e < epochs; e++ {
+		for r := 0; r < rows; r++ {
+			pred := w[0]
+			norm := 1.0
+			for i, xi := range Xs[r] {
+				pred += w[i+1] * xi
+				norm += xi * xi
+			}
+			diff := y[r]/p.scale - pred
+			loss := math.Abs(diff) - eps
+			if loss <= 0 {
+				continue
+			}
+			tau := loss / (norm + 1/(2*c))
+			if diff < 0 {
+				tau = -tau
+			}
+			w[0] += tau
+			for i, xi := range Xs[r] {
+				w[i+1] += tau * xi
+			}
+		}
+	}
+	p.coef = w
+	return nil
+}
+
+// Predict implements Regressor.
+func (p *PAR) Predict(x []float64) float64 {
+	if len(p.coef) == 0 {
+		return math.NaN()
+	}
+	xs := p.std.transform(x)
+	v := p.coef[0]
+	for i, xi := range xs {
+		if i+1 < len(p.coef) {
+			v += p.coef[i+1] * xi
+		}
+	}
+	return v * p.scale
+}
+
+// TheilSen is the robust Theil-Sen estimator generalized to multiple
+// dimensions the way scikit-learn does: solve exact least squares on many
+// random minimal subsets and take the coordinate-wise median of the
+// coefficient vectors.
+type TheilSen struct {
+	// Subsets is the number of random minimal subsets; zero means 300.
+	Subsets int
+	// Seed drives the deterministic subset sampling.
+	Seed uint64
+
+	coef []float64
+	std  *standardizer
+}
+
+// Name implements Regressor. Table IV abbreviates Theil-Sen as TSR.
+func (t *TheilSen) Name() string { return "TSR" }
+
+// Fit implements Regressor. Features are z-scored internally so the exact
+// minimal-subset solves stay well conditioned; a tiny diagonal loading
+// guards the nearly-collinear subsets that noisy counter features produce.
+func (t *TheilSen) Fit(X [][]float64, y []float64) error {
+	rows, cols, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	t.std = fitStandardizer(X)
+	Xs := t.std.transformAll(X)
+
+	d := cols + 1
+	if rows < d {
+		// Not enough points for a minimal subset; fall back to OLS.
+		o := &OLS{}
+		if err := o.Fit(Xs, y); err != nil {
+			return err
+		}
+		t.coef = o.coef
+		return nil
+	}
+	subsets := t.Subsets
+	if subsets <= 0 {
+		subsets = 300
+	}
+	r := newRNG(t.Seed + 1)
+	type solved struct {
+		w    []float64
+		norm float64
+	}
+	var all []solved
+	a := make([][]float64, d)
+	b := make([]float64, d)
+	for s := 0; s < subsets; s++ {
+		seen := make(map[int]bool, d)
+		for len(seen) < d {
+			seen[r.intn(rows)] = true
+		}
+		i := 0
+		for idx := range seen {
+			row := make([]float64, d)
+			row[0] = 1
+			copy(row[1:], Xs[idx])
+			a[i] = row
+			b[i] = y[idx]
+			i++
+		}
+		for j := 0; j < d; j++ {
+			a[j][j] += 1e-6
+		}
+		w, err := solve(a, b)
+		if err != nil {
+			continue // degenerate subset
+		}
+		norm := 0.0
+		for _, v := range w {
+			norm += v * v
+		}
+		all = append(all, solved{w, norm})
+	}
+	if len(all) == 0 {
+		return errors.New("regress: all Theil-Sen subsets degenerate")
+	}
+	// Trim the heavy tail of wild solutions from nearly-collinear subsets
+	// before the median: keep the better-conditioned half (in z-scored
+	// space sane coefficients have small norms).
+	sort.Slice(all, func(i, j int) bool { return all[i].norm < all[j].norm })
+	keep := len(all)/2 + 1
+	coefs := make([][]float64, 0, keep)
+	for i := 0; i < keep; i++ {
+		coefs = append(coefs, all[i].w)
+	}
+	t.coef = make([]float64, d)
+	col := make([]float64, len(coefs))
+	for j := 0; j < d; j++ {
+		for i, w := range coefs {
+			col[i] = w[j]
+		}
+		sort.Float64s(col)
+		t.coef[j] = col[len(col)/2]
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (t *TheilSen) Predict(x []float64) float64 {
+	if len(t.coef) == 0 {
+		return math.NaN()
+	}
+	xs := t.std.transform(x)
+	v := t.coef[0]
+	for i, xi := range xs {
+		if i+1 < len(t.coef) {
+			v += t.coef[i+1] * xi
+		}
+	}
+	return v
+}

@@ -1,0 +1,178 @@
+// Package regress implements, from scratch, the regression models the
+// paper evaluates as its first (and ultimately rejected) performance-model
+// candidate (§III-B): ordinary least squares, k-nearest neighbours,
+// gradient boosting, passive-aggressive regression and Theil-Sen
+// regression, plus the decision-tree estimator used for feature selection.
+// The paper trains one model per intra-op parallelism case (68 models) on
+// hardware-counter features of operations from three NN models and tests on
+// a fourth; because counters for short operations are noisy, accuracy stays
+// low — the motivation for the hill-climbing model in package perfmodel.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Regressor is a trainable single-output regression model.
+type Regressor interface {
+	// Name identifies the model in reports (matching Table IV's columns).
+	Name() string
+	// Fit trains on rows X with targets y.
+	Fit(X [][]float64, y []float64) error
+	// Predict returns the estimate for one feature row. Predict must only
+	// be called after a successful Fit.
+	Predict(x []float64) float64
+}
+
+// checkXY validates training data dimensions.
+func checkXY(X [][]float64, y []float64) (rows, cols int, err error) {
+	if len(X) == 0 || len(y) == 0 {
+		return 0, 0, errors.New("regress: empty training set")
+	}
+	if len(X) != len(y) {
+		return 0, 0, fmt.Errorf("regress: %d rows but %d targets", len(X), len(y))
+	}
+	cols = len(X[0])
+	if cols == 0 {
+		return 0, 0, errors.New("regress: zero-width features")
+	}
+	for i, r := range X {
+		if len(r) != cols {
+			return 0, 0, fmt.Errorf("regress: row %d has %d features, want %d", i, len(r), cols)
+		}
+	}
+	return len(X), cols, nil
+}
+
+// Accuracy is the paper's prediction-accuracy metric,
+// 1 − (1/n)·Σ|ŷᵢ−yᵢ|/yᵢ. It can be negative when relative errors exceed
+// 100%; Table IV reports values as low as 11%.
+func Accuracy(pred, y []float64) float64 {
+	if len(pred) != len(y) || len(y) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	n := 0
+	for i := range y {
+		if y[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-y[i]) / math.Abs(y[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return 1 - sum/float64(n)
+}
+
+// R2 is the coefficient of determination.
+func R2(pred, y []float64) float64 {
+	if len(pred) != len(y) || len(y) == 0 {
+		return math.NaN()
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		ssRes += (y[i] - pred[i]) * (y[i] - pred[i])
+		ssTot += (y[i] - mean) * (y[i] - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// PredictAll applies a fitted model to every row.
+func PredictAll(r Regressor, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = r.Predict(x)
+	}
+	return out
+}
+
+// standardizer z-scores feature columns; linear models whose updates or
+// subset solves are scale-sensitive (PAR, Theil-Sen) fit it on the
+// training set and transform every input.
+type standardizer struct {
+	mean, std []float64
+}
+
+func fitStandardizer(X [][]float64) *standardizer {
+	cols := len(X[0])
+	s := &standardizer{mean: make([]float64, cols), std: make([]float64, cols)}
+	for _, r := range X {
+		for j, v := range r {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= float64(len(X))
+	}
+	for _, r := range X {
+		for j, v := range r {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / float64(len(X)))
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+func (s *standardizer) transform(x []float64) []float64 {
+	out := make([]float64, len(s.mean))
+	for j := range out {
+		v := 0.0
+		if j < len(x) {
+			v = x[j]
+		}
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+func (s *standardizer) transformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, r := range X {
+		out[i] = s.transform(r)
+	}
+	return out
+}
+
+// rng is a small deterministic splitmix64 generator so that models needing
+// randomness (Theil-Sen subset sampling) stay reproducible without
+// math/rand seeding conventions leaking into results.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0,n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

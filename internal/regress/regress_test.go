@@ -1,0 +1,240 @@
+package regress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// linearData generates y = 3 + 2x0 - x1 with optional noise.
+func linearData(n int, noise float64) ([][]float64, []float64) {
+	r := newRNG(42)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0 := float64(r.intn(1000)) / 100
+		x1 := float64(r.intn(1000)) / 100
+		X[i] = []float64{x0, x1}
+		eps := 0.0
+		if noise > 0 {
+			eps = noise * (float64(r.intn(2001))/1000 - 1)
+		}
+		y[i] = 3 + 2*x0 - x1 + eps
+	}
+	return X, y
+}
+
+func all() []Regressor {
+	return []Regressor{&OLS{}, &KNN{}, &Tree{}, &GBT{}, &PAR{}, &TheilSen{}}
+}
+
+func TestFitRejectsBadData(t *testing.T) {
+	for _, r := range all() {
+		if err := r.Fit(nil, nil); err == nil {
+			t.Errorf("%s: Fit(nil) accepted", r.Name())
+		}
+		if err := r.Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+			t.Errorf("%s: mismatched rows accepted", r.Name())
+		}
+		if err := r.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+			t.Errorf("%s: ragged rows accepted", r.Name())
+		}
+		if err := r.Fit([][]float64{{}, {}}, []float64{1, 2}); err == nil {
+			t.Errorf("%s: zero-width rows accepted", r.Name())
+		}
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	for _, r := range all() {
+		if v := r.Predict([]float64{1, 2}); !math.IsNaN(v) {
+			t.Errorf("%s: Predict before Fit = %v, want NaN", r.Name(), v)
+		}
+	}
+}
+
+func TestAllModelsLearnLinear(t *testing.T) {
+	X, y := linearData(200, 0)
+	Xt, yt := linearData(50, 0)
+	for _, r := range all() {
+		if err := r.Fit(X, y); err != nil {
+			t.Fatalf("%s: Fit: %v", r.Name(), err)
+		}
+		acc := Accuracy(PredictAll(r, Xt), yt)
+		if acc < 0.75 {
+			t.Errorf("%s: accuracy %.3f on clean linear data, want >= 0.75", r.Name(), acc)
+		}
+	}
+}
+
+func TestExactModelsRecoverCoefficients(t *testing.T) {
+	X, y := linearData(100, 0)
+	for _, r := range []Regressor{&OLS{}, &TheilSen{}} {
+		if err := r.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		got := r.Predict([]float64{5, 2})
+		want := 3.0 + 2*5 - 2
+		if math.Abs(got-want) > 0.05*want {
+			t.Errorf("%s: Predict(5,2) = %v, want %v", r.Name(), got, want)
+		}
+	}
+}
+
+func TestTheilSenRobustToOutliers(t *testing.T) {
+	X, y := linearData(120, 0)
+	// Corrupt 15% of the targets grossly.
+	for i := 0; i < len(y); i += 7 {
+		y[i] *= 40
+	}
+	ts := &TheilSen{}
+	ols := &OLS{}
+	if err := ts.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := ols.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := linearData(50, 0)
+	accTS := Accuracy(PredictAll(ts, Xt), yt)
+	accOLS := Accuracy(PredictAll(ols, Xt), yt)
+	if accTS <= accOLS {
+		t.Errorf("Theil-Sen (%.3f) not more robust than OLS (%.3f) under outliers", accTS, accOLS)
+	}
+}
+
+func TestTreeImportancesAndSelection(t *testing.T) {
+	// y depends only on feature 1 of 4.
+	r := newRNG(7)
+	n := 300
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = []float64{
+			float64(r.intn(100)), float64(r.intn(100)),
+			float64(r.intn(100)), float64(r.intn(100)),
+		}
+		y[i] = 5 * X[i][1]
+	}
+	tr := &Tree{}
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.Importances()
+	if len(imp) != 4 {
+		t.Fatalf("importances length = %d", len(imp))
+	}
+	for f, v := range imp {
+		if f == 1 {
+			if v < 0.9 {
+				t.Errorf("informative feature importance %.3f, want ~1", v)
+			}
+		} else if v > 0.1 {
+			t.Errorf("noise feature %d importance %.3f, want ~0", f, v)
+		}
+	}
+	sel, err := SelectFeatures(X, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel[0] != 1 {
+		t.Errorf("SelectFeatures top = %d, want 1", sel[0])
+	}
+}
+
+func TestGBTBeatsSingleTreeOnNonlinear(t *testing.T) {
+	r := newRNG(11)
+	n := 400
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0 := float64(r.intn(1000)) / 100
+		x1 := float64(r.intn(1000)) / 100
+		X[i] = []float64{x0, x1}
+		y[i] = x0*x0 + 3*math.Sin(x1) + 10
+	}
+	tree := &Tree{MaxDepth: 3}
+	gbt := &GBT{Depth: 3}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := gbt.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	accT := Accuracy(PredictAll(tree, X), y)
+	accG := Accuracy(PredictAll(gbt, X), y)
+	if accG <= accT {
+		t.Errorf("GBT (%.3f) did not beat a depth-3 tree (%.3f) on nonlinear data", accG, accT)
+	}
+}
+
+func TestKNNInterpolatesLocally(t *testing.T) {
+	X := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	y := []float64{0, 10, 10, 20}
+	k := &KNN{K: 2}
+	if err := k.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Predict([]float64{0, 0}); math.Abs(got-0) > 3 {
+		t.Errorf("Predict(0,0) = %v, want near 0", got)
+	}
+	if got := k.Predict([]float64{1, 1}); math.Abs(got-20) > 3 {
+		t.Errorf("Predict(1,1) = %v, want near 20", got)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	y := []float64{10, 20, 30}
+	if got := Accuracy(y, y); got != 1 {
+		t.Errorf("Accuracy(perfect) = %v", got)
+	}
+	if got := R2(y, y); got != 1 {
+		t.Errorf("R2(perfect) = %v", got)
+	}
+	pred := []float64{20, 40, 60} // 100% relative error everywhere
+	if got := Accuracy(pred, y); math.Abs(got-0) > 1e-9 {
+		t.Errorf("Accuracy(2x) = %v, want 0", got)
+	}
+	if !math.IsNaN(Accuracy([]float64{1}, []float64{1, 2})) {
+		t.Error("Accuracy with mismatched lengths should be NaN")
+	}
+	if !math.IsNaN(R2(nil, nil)) {
+		t.Error("R2(nil) should be NaN")
+	}
+	// Accuracy can go negative, as in Table IV's near-random entries.
+	if got := Accuracy([]float64{50}, []float64{10}); got >= 0 {
+		t.Errorf("Accuracy(5x error) = %v, want negative", got)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	_, err := solve([][]float64{{1, 1}, {1, 1}}, []float64{1, 2})
+	if err == nil {
+		t.Error("singular system solved without error")
+	}
+}
+
+// Property: R2 of the mean predictor is 0, and no model predicts NaN on
+// in-range queries after a successful fit.
+func TestPredictionsFinite(t *testing.T) {
+	X, y := linearData(60, 1.0)
+	models := all()
+	for _, r := range models {
+		if err := r.Fit(X, y); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+	}
+	f := func(a, b uint8) bool {
+		x := []float64{float64(a) / 10, float64(b) / 10}
+		for _, r := range models {
+			v := r.Predict(x)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

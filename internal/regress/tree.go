@@ -1,0 +1,274 @@
+package regress
+
+import (
+	"math"
+	"sort"
+)
+
+// Tree is a CART regression tree trained by recursive variance-reduction
+// splitting. It doubles as the paper's feature-selection estimator: the
+// total variance reduction attributed to each feature is its importance.
+type Tree struct {
+	// MaxDepth bounds the tree; zero means 6.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf; zero means 2.
+	MinLeaf int
+
+	root       *treeNode
+	importance []float64
+}
+
+type treeNode struct {
+	feature     int
+	threshold   float64
+	value       float64
+	left, right *treeNode
+}
+
+func (n *treeNode) leaf() bool { return n.left == nil }
+
+// Name implements Regressor.
+func (t *Tree) Name() string { return "DecisionTree" }
+
+func (t *Tree) maxDepth() int {
+	if t.MaxDepth <= 0 {
+		return 6
+	}
+	return t.MaxDepth
+}
+
+func (t *Tree) minLeaf() int {
+	if t.MinLeaf <= 0 {
+		return 2
+	}
+	return t.MinLeaf
+}
+
+// Fit implements Regressor.
+func (t *Tree) Fit(X [][]float64, y []float64) error {
+	_, cols, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.importance = make([]float64, cols)
+	t.root = t.build(X, y, idx, 0)
+	return nil
+}
+
+// build grows one subtree over the sample indices idx.
+func (t *Tree) build(X [][]float64, y []float64, idx []int, depth int) *treeNode {
+	mean, sse := meanSSE(y, idx)
+	node := &treeNode{value: mean}
+	if depth >= t.maxDepth() || len(idx) < 2*t.minLeaf() || sse < 1e-12 {
+		return node
+	}
+
+	bestGain := 0.0
+	bestFeat, bestPos := -1, 0
+	var bestOrder []int
+	cols := len(X[0])
+	order := make([]int, len(idx))
+	for f := 0; f < cols; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		// Prefix sums for O(n) split evaluation.
+		sum, sumSq := 0.0, 0.0
+		total, totalSq := 0.0, 0.0
+		for _, i := range order {
+			total += y[i]
+			totalSq += y[i] * y[i]
+		}
+		n := float64(len(order))
+		for pos := 1; pos < len(order); pos++ {
+			i := order[pos-1]
+			sum += y[i]
+			sumSq += y[i] * y[i]
+			if X[order[pos]][f] == X[i][f] {
+				continue // can't split between equal values
+			}
+			if pos < t.minLeaf() || len(order)-pos < t.minLeaf() {
+				continue
+			}
+			nl, nr := float64(pos), n-float64(pos)
+			sseL := sumSq - sum*sum/nl
+			sumR, sumSqR := total-sum, totalSq-sumSq
+			sseR := sumSqR - sumR*sumR/nr
+			gain := sse - sseL - sseR
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestPos = pos
+				bestOrder = append(bestOrder[:0], order...)
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+
+	node.feature = bestFeat
+	node.threshold = (X[bestOrder[bestPos-1]][bestFeat] + X[bestOrder[bestPos]][bestFeat]) / 2
+	t.importance[bestFeat] += bestGain
+	left := append([]int(nil), bestOrder[:bestPos]...)
+	right := append([]int(nil), bestOrder[bestPos:]...)
+	node.left = t.build(X, y, left, depth+1)
+	node.right = t.build(X, y, right, depth+1)
+	return node
+}
+
+func meanSSE(y []float64, idx []int) (mean, sse float64) {
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+// Predict implements Regressor.
+func (t *Tree) Predict(x []float64) float64 {
+	if t.root == nil {
+		return math.NaN()
+	}
+	n := t.root
+	for !n.leaf() {
+		if n.feature < len(x) && x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Importances returns the per-feature total variance reduction, normalized
+// to sum to 1 (all zeros if the tree never split).
+func (t *Tree) Importances() []float64 {
+	out := append([]float64(nil), t.importance...)
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}
+
+// SelectFeatures fits a decision tree and returns the indices of the k most
+// important features, most important first — the paper's feature-selection
+// procedure that picks cycles, LLC misses, LLC accesses and L1 hits out of
+// the countable events.
+func SelectFeatures(X [][]float64, y []float64, k int) ([]int, error) {
+	t := &Tree{MaxDepth: 8}
+	if err := t.Fit(X, y); err != nil {
+		return nil, err
+	}
+	imp := t.Importances()
+	idx := make([]int, len(imp))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if imp[idx[a]] != imp[idx[b]] {
+			return imp[idx[a]] > imp[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k < len(idx) {
+		idx = idx[:k]
+	}
+	return idx, nil
+}
+
+// GBT is gradient-boosted regression trees with squared loss: each stage
+// fits a shallow tree to the current residuals.
+type GBT struct {
+	// Stages is the number of boosting rounds; zero means 80.
+	Stages int
+	// LearningRate shrinks each stage; zero means 0.1.
+	LearningRate float64
+	// Depth is the per-stage tree depth; zero means 3.
+	Depth int
+
+	base  float64
+	trees []*Tree
+}
+
+// Name implements Regressor. Table IV calls this Gradient Boosting.
+func (g *GBT) Name() string { return "GradientBoosting" }
+
+// Fit implements Regressor.
+func (g *GBT) Fit(X [][]float64, y []float64) error {
+	rows, _, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	stages := g.Stages
+	if stages <= 0 {
+		stages = 80
+	}
+	lr := g.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	depth := g.Depth
+	if depth <= 0 {
+		depth = 3
+	}
+
+	g.base = 0
+	for _, v := range y {
+		g.base += v
+	}
+	g.base /= float64(rows)
+
+	resid := make([]float64, rows)
+	for i, v := range y {
+		resid[i] = v - g.base
+	}
+	g.trees = g.trees[:0]
+	for s := 0; s < stages; s++ {
+		t := &Tree{MaxDepth: depth, MinLeaf: 3}
+		if err := t.Fit(X, resid); err != nil {
+			return err
+		}
+		g.trees = append(g.trees, t)
+		done := true
+		for i := range resid {
+			resid[i] -= lr * t.Predict(X[i])
+			if math.Abs(resid[i]) > 1e-12 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (g *GBT) Predict(x []float64) float64 {
+	if len(g.trees) == 0 {
+		return math.NaN()
+	}
+	lr := g.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	v := g.base
+	for _, t := range g.trees {
+		v += lr * t.Predict(x)
+	}
+	return v
+}

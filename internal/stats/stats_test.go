@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "a", "bb", "ccc")
+	tb.AddRow("x", 1.5, 10)
+	tb.AddRowCells("longer", "y", "z")
+	out := tb.Render()
+	for _, want := range []string{"Title", "a", "bb", "ccc", "1.50", "longer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("render has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); got != 2 {
+		t.Errorf("Speedup = %v, want 2", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Errorf("Speedup(x, 0) = %v, want 0", got)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{1, -1}); got != 0 {
+		t.Errorf("GeoMean with negative = %v, want 0", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+}
+
+// Property: the arithmetic mean dominates the geometric mean for positive
+// inputs.
+func TestAMGMInequality(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v%1000) + 1
+		}
+		return Mean(xs) >= GeoMean(xs)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package trace records execution timelines of simulated training steps:
+// every operation launch and completion is an event, stamped with the
+// number of co-running operations at that moment. The paper's Figure 4 is
+// a plot of exactly this series, and its Strategy-4 evaluation compares the
+// average number of co-running operations with and without hyper-threading
+// co-run.
+package trace
+
+import (
+	"fmt"
+
+	"opsched/internal/graph"
+)
+
+// EventType distinguishes operation launches from completions.
+type EventType int
+
+const (
+	// Launch is the start of an operation.
+	Launch EventType = iota
+	// Finish is the completion of an operation.
+	Finish
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case Launch:
+		return "launch"
+	case Finish:
+		return "finish"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// Event is one scheduling event: an operation launched or finished.
+type Event struct {
+	// ClockNs is the virtual time of the event in nanoseconds.
+	ClockNs float64
+	// Type is Launch or Finish.
+	Type EventType
+	// Node is the operation involved.
+	Node graph.NodeID
+	// CoRunning is the number of operations running immediately after the
+	// event took effect.
+	CoRunning int
+}
+
+// Trace is an append-only event log.
+type Trace struct {
+	events []Event
+}
+
+// Add appends an event.
+func (t *Trace) Add(e Event) { t.events = append(t.events, e) }
+
+// Events returns the full event log. The slice is shared; callers must not
+// modify it.
+func (t *Trace) Events() []Event { return t.events }
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// CoRunSeries returns the co-running count of every event, in order — the
+// series the paper plots in Figure 4.
+func (t *Trace) CoRunSeries() []int {
+	out := make([]int, len(t.events))
+	for i, e := range t.events {
+		out[i] = e.CoRunning
+	}
+	return out
+}
+
+// Window returns up to n events from the middle of the log, mirroring the
+// paper's presentation ("the events happen in the middle of one step").
+func (t *Trace) Window(n int) []Event {
+	if n >= len(t.events) {
+		return t.events
+	}
+	start := (len(t.events) - n) / 2
+	return t.events[start : start+n]
+}
+
+// AvgCoRunning returns the mean number of co-running operations over the
+// given events (0 for an empty slice).
+func AvgCoRunning(events []Event) float64 {
+	if len(events) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range events {
+		sum += float64(e.CoRunning)
+	}
+	return sum / float64(len(events))
+}
+
+// MaxCoRunning returns the peak co-running count over the given events.
+func MaxCoRunning(events []Event) int {
+	max := 0
+	for _, e := range events {
+		if e.CoRunning > max {
+			max = e.CoRunning
+		}
+	}
+	return max
+}

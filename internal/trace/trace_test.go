@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sample(n int) *Trace {
+	t := &Trace{}
+	for i := 0; i < n; i++ {
+		typ := Launch
+		if i%2 == 1 {
+			typ = Finish
+		}
+		t.Add(Event{ClockNs: float64(i), Type: typ, Node: 0, CoRunning: i % 4})
+	}
+	return t
+}
+
+func TestAddAndSeries(t *testing.T) {
+	tr := sample(8)
+	if tr.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", tr.Len())
+	}
+	s := tr.CoRunSeries()
+	if len(s) != 8 || s[3] != 3 || s[4] != 0 {
+		t.Errorf("CoRunSeries = %v", s)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := sample(100)
+	w := tr.Window(10)
+	if len(w) != 10 {
+		t.Fatalf("Window(10) len = %d", len(w))
+	}
+	// Window must come from the middle of the log.
+	if w[0].ClockNs < 40 || w[0].ClockNs > 50 {
+		t.Errorf("window starts at clock %v, want middle of [0,100)", w[0].ClockNs)
+	}
+	if got := tr.Window(1000); len(got) != 100 {
+		t.Errorf("oversized Window = %d events, want all 100", len(got))
+	}
+}
+
+func TestAverages(t *testing.T) {
+	tr := sample(8)
+	if got := AvgCoRunning(tr.Events()); got != 1.5 {
+		t.Errorf("AvgCoRunning = %v, want 1.5", got)
+	}
+	if got := AvgCoRunning(nil); got != 0 {
+		t.Errorf("AvgCoRunning(nil) = %v, want 0", got)
+	}
+	if got := MaxCoRunning(tr.Events()); got != 3 {
+		t.Errorf("MaxCoRunning = %v, want 3", got)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if Launch.String() != "launch" || Finish.String() != "finish" {
+		t.Error("event type strings wrong")
+	}
+	if EventType(7).String() == "" {
+		t.Error("unknown event type should still render")
+	}
+}
+
+// Property: the average co-running count is bounded by the maximum.
+func TestAvgBoundedByMax(t *testing.T) {
+	f := func(counts []uint8) bool {
+		tr := &Trace{}
+		for i, c := range counts {
+			tr.Add(Event{ClockNs: float64(i), CoRunning: int(c % 16)})
+		}
+		return AvgCoRunning(tr.Events()) <= float64(MaxCoRunning(tr.Events()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

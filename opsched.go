@@ -1,0 +1,125 @@
+// Package opsched reproduces "Runtime Concurrency Control and Operation
+// Scheduling for High Performance Neural Network Training" (Liu, Li,
+// Kestor, Vetter — IPDPS 2019) as a self-contained Go library.
+//
+// The paper extends the TensorFlow runtime on an Intel Knights Landing
+// node so that every dataflow operation's intra-op parallelism is chosen
+// automatically from a hill-climbing performance model, and ready
+// operations are co-run into idle cores (and onto spare hyper-threads)
+// without hurting system throughput. This package is the public facade
+// over the internal packages that implement the full system:
+//
+//   - hw: the analytic KNL machine model (68 cores, 34 tiles, MCDRAM);
+//   - op/graph/nn: the operation catalog, dataflow graphs and the four
+//     training workloads (ResNet-50, DCGAN, Inception-v3, LSTM);
+//   - exec: the discrete-event execution engine with the TensorFlow FIFO
+//     baseline and co-run contention modeling;
+//   - perfmodel/regress/counters: the hill-climbing performance model and
+//     the rejected regression alternative;
+//   - core: the runtime itself — Strategies 1-4;
+//   - gpu: the P100 study of the paper's Section VII;
+//   - experiments: regenerators for every table and figure.
+//
+// Quick start:
+//
+//	model := opsched.MustBuild(opsched.ResNet50)
+//	machine := opsched.NewKNL()
+//	base, _ := opsched.BaselineStep(model, machine, 1, machine.Cores)
+//	ours, _ := opsched.TrainStep(model, machine, opsched.AllStrategies())
+//	fmt.Printf("speedup %.2fx\n", base.StepTimeNs/ours.StepTimeNs)
+package opsched
+
+import (
+	"opsched/internal/core"
+	"opsched/internal/exec"
+	"opsched/internal/experiments"
+	"opsched/internal/hw"
+	"opsched/internal/nn"
+)
+
+// Machine is the manycore hardware model (see hw.Machine).
+type Machine = hw.Machine
+
+// Model is a training workload: a per-step dataflow graph plus metadata.
+type Model = nn.Model
+
+// Config selects the runtime's active scheduling strategies.
+type Config = core.Config
+
+// Result is the outcome of executing one training step.
+type Result = exec.Result
+
+// Runtime is the concurrency-control and operation-scheduling runtime.
+type Runtime = core.Runtime
+
+// The paper's four workloads.
+const (
+	ResNet50    = nn.ResNet50
+	DCGAN       = nn.DCGAN
+	InceptionV3 = nn.InceptionV3
+	LSTM        = nn.LSTM
+)
+
+// NewKNL returns the Xeon Phi 7250 machine model used throughout the paper.
+func NewKNL() *Machine { return hw.NewKNL() }
+
+// Models lists the four workloads in the paper's order.
+func Models() []string { return nn.Names() }
+
+// Build constructs the named workload at its paper batch size.
+func Build(name string) (*Model, error) { return nn.Build(name) }
+
+// MustBuild is Build that panics on an unknown name.
+func MustBuild(name string) *Model { return nn.MustBuild(name) }
+
+// Strategies12 enables concurrency control only (Figure 3a).
+func Strategies12() Config { return core.Strategies12() }
+
+// Strategies123 adds co-running (Figure 3b).
+func Strategies123() Config { return core.Strategies123() }
+
+// AllStrategies enables the full runtime (Figures 3c/3d).
+func AllStrategies() Config { return core.AllStrategies() }
+
+// NewRuntime builds a runtime for machine m (nil means NewKNL()).
+func NewRuntime(m *Machine, cfg Config) *Runtime { return core.New(m, cfg) }
+
+// TrainStep profiles the model (hill-climbing, a few simulated training
+// steps) and executes one training step under the runtime.
+func TrainStep(model *Model, m *Machine, cfg Config) (*Result, error) {
+	rt := core.New(m, cfg)
+	return rt.RunStep(model.Graph, exec.Options{Machine: m})
+}
+
+// BaselineStep executes one training step under the TensorFlow FIFO
+// baseline with uniform inter-op/intra-op parallelism. The paper's
+// recommended configuration is interOp=1, intraOp=68.
+func BaselineStep(model *Model, m *Machine, interOp, intraOp int) (*Result, error) {
+	return exec.Run(model.Graph,
+		&exec.FIFO{InterOp: interOp, IntraOp: intraOp, Place: hw.Shared},
+		exec.Options{Machine: m})
+}
+
+// ManualOptimize exhaustively searches uniform configurations — the
+// paper's "manual optimization" baseline — returning the best setting and
+// its result.
+func ManualOptimize(model *Model, m *Machine) (string, *Result, error) {
+	cfg, res, err := core.ManualOptimize(model.Graph, m, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	return cfg.String(), res, nil
+}
+
+// Experiments lists the regenerable tables and figures in paper order.
+func Experiments() []string { return experiments.Names() }
+
+// RunExperiment regenerates the named table or figure and returns its
+// rendered report.
+func RunExperiment(name string, m *Machine) (string, error) {
+	res, err := experiments.Run(name, m)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}

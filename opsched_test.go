@@ -1,0 +1,84 @@
+package opsched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	m := NewKNL()
+	model := MustBuild(ResNet50)
+	base, err := BaselineStep(model, m, 1, m.Cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, err := TrainStep(model, m, AllStrategies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.StepTimeNs >= base.StepTimeNs {
+		t.Errorf("runtime (%.1fms) not faster than recommendation (%.1fms)",
+			ours.StepTimeNs/1e6, base.StepTimeNs/1e6)
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	if len(Models()) != 4 {
+		t.Fatalf("Models() = %v, want the paper's four", Models())
+	}
+	if _, err := Build("VGG"); err == nil {
+		t.Error("Build(unknown) succeeded")
+	}
+	for _, name := range Models() {
+		model, err := Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if model.Graph.Len() == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+	}
+}
+
+func TestFacadeManualOptimize(t *testing.T) {
+	m := NewKNL()
+	model := MustBuild(DCGAN)
+	cfg, res, err := ManualOptimize(model, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cfg, "inter=") {
+		t.Errorf("config string %q", cfg)
+	}
+	if res.StepTimeNs <= 0 {
+		t.Error("empty result")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) != 11 {
+		t.Fatalf("Experiments() = %v", Experiments())
+	}
+	out, err := RunExperiment("table2", NewKNL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table II") {
+		t.Errorf("unexpected render: %q", out)
+	}
+	if _, err := RunExperiment("bogus", NewKNL()); err == nil {
+		t.Error("RunExperiment(bogus) succeeded")
+	}
+}
+
+func TestStrategyPresets(t *testing.T) {
+	if c := Strategies12(); !c.Strategy1 || !c.Strategy2 || c.Strategy3 || c.Strategy4 {
+		t.Errorf("Strategies12 = %+v", c)
+	}
+	if c := Strategies123(); !c.Strategy3 || c.Strategy4 {
+		t.Errorf("Strategies123 = %+v", c)
+	}
+	if c := AllStrategies(); !c.Strategy4 {
+		t.Errorf("AllStrategies = %+v", c)
+	}
+}
