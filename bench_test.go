@@ -10,10 +10,13 @@ package opsched
 // the same code paths and prints them.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"opsched/internal/experiments"
 	"opsched/internal/hw"
+	"opsched/internal/perfmodel"
 )
 
 func benchExperiment(b *testing.B, name string) {
@@ -113,8 +116,9 @@ func BenchmarkBaselineExecution(b *testing.B) {
 	}
 }
 
-// BenchmarkHillClimbProfiling measures the profiling cost per operation
-// class at the paper's recommended interval x=4.
+// BenchmarkHillClimbProfiling measures the cold profiling cost per
+// operation class at the paper's recommended interval x=4: the process-wide
+// profile cache is reset every iteration so each one runs the real search.
 func BenchmarkHillClimbProfiling(b *testing.B) {
 	m := hw.NewKNL()
 	model := MustBuild(DCGAN)
@@ -122,8 +126,58 @@ func BenchmarkHillClimbProfiling(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		perfmodel.ResetCache()
 		if err := rt.Profile(model.Graph); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedProfiling measures the hot path every sweep worker after
+// the first takes: Profile against a warm process-wide cache.
+func BenchmarkCachedProfiling(b *testing.B) {
+	m := hw.NewKNL()
+	model := MustBuild(DCGAN)
+	rt := NewRuntime(m, AllStrategies())
+	if err := rt.Profile(model.Graph); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Profile(model.Graph); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial runs the paper's full 11-experiment evaluation on
+// one worker — the old cmd/opsched-bench behaviour.
+func BenchmarkSweepSerial(b *testing.B) {
+	benchSweep(b, 1)
+}
+
+// BenchmarkSweepParallel fans the same 11 experiments across GOMAXPROCS
+// workers; compare against BenchmarkSweepSerial for the wall-clock win.
+func BenchmarkSweepParallel(b *testing.B) {
+	benchSweep(b, runtime.GOMAXPROCS(0))
+}
+
+func benchSweep(b *testing.B, parallel int) {
+	b.Helper()
+	m := hw.NewKNL()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Cold cache per iteration: the serial case then measures exactly
+		// the old cmd/opsched-bench behaviour, and serial vs parallel
+		// compare on equal cache state.
+		perfmodel.ResetCache()
+		reports, err := RunExperiments(context.Background(), nil, m, parallel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != len(Experiments()) {
+			b.Fatalf("got %d reports, want %d", len(reports), len(Experiments()))
 		}
 	}
 }

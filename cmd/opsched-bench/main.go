@@ -1,26 +1,54 @@
 // Command opsched-bench regenerates the paper's evaluation: every table
-// and figure, or a selected subset.
+// and figure, or a selected subset, fanned across a worker pool.
 //
 // Usage:
 //
-//	opsched-bench            # run everything in paper order
-//	opsched-bench -exp fig3  # one experiment
-//	opsched-bench -list      # list experiment names
+//	opsched-bench                 # run everything in paper order
+//	opsched-bench -exp fig3       # one experiment
+//	opsched-bench -exp fig1,fig3  # a subset, comma-separated
+//	opsched-bench -parallel 8     # worker count (default GOMAXPROCS)
+//	opsched-bench -json           # machine-readable reports with timings
+//	opsched-bench -list           # list experiment names
+//
+// Reports print to stdout in request order and are byte-identical whatever
+// -parallel is; per-experiment wall-clock timings go to stderr (or into the
+// -json payload), so piping stdout to a file yields a stable artifact.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
 	"opsched"
 )
 
+type jsonReport struct {
+	Name      string  `json:"name"`
+	Report    string  `json:"report"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+type jsonOutput struct {
+	Machine     string       `json:"machine"`
+	Parallel    int          `json:"parallel"`
+	TotalMs     float64      `json:"total_ms"`
+	CacheHits   int          `json:"profile_cache_hits"`
+	CacheMisses int          `json:"profile_cache_misses"`
+	Experiments []jsonReport `json:"experiments"`
+}
+
 func main() {
-	exp := flag.String("exp", "", "experiment to run (empty = all); see -list")
+	exp := flag.String("exp", "", "experiments to run, comma-separated (empty = all); see -list")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent experiments (<=0 means GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit reports as JSON with per-experiment timings")
 	flag.Parse()
 
 	if *list {
@@ -28,20 +56,56 @@ func main() {
 		return
 	}
 
-	names := opsched.Experiments()
+	var names []string
 	if *exp != "" {
-		names = []string{*exp}
+		for _, n := range strings.Split(*exp, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	m := opsched.NewKNL()
-	fmt.Printf("machine: %v\n\n", m)
-	for _, name := range names {
-		start := time.Now()
-		out, err := opsched.RunExperiment(name, m)
-		if err != nil {
+	start := time.Now()
+	reports, err := opsched.RunExperiments(ctx, names, m, *parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
+		os.Exit(1)
+	}
+	total := time.Since(start)
+	hits, misses := opsched.ProfileCacheStats()
+
+	if *jsonOut {
+		out := jsonOutput{
+			Machine:     m.String(),
+			Parallel:    *parallel,
+			TotalMs:     float64(total.Microseconds()) / 1e3,
+			CacheHits:   hits,
+			CacheMisses: misses,
+		}
+		for _, r := range reports {
+			out.Experiments = append(out.Experiments, jsonReport{
+				Name: r.Name, Report: r.Report,
+				ElapsedMs: float64(r.Elapsed.Microseconds()) / 1e3,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s (%.1fs) ===\n%s\n", name, time.Since(start).Seconds(), out)
+		return
 	}
+
+	fmt.Printf("machine: %v\n\n", m)
+	for _, r := range reports {
+		fmt.Printf("=== %s ===\n%s\n", r.Name, r.Report)
+		fmt.Fprintf(os.Stderr, "opsched-bench: %-7s %.2fs\n", r.Name, r.Elapsed.Seconds())
+	}
+	fmt.Fprintf(os.Stderr, "opsched-bench: total %.2fs, parallel=%d, profile cache %d hits / %d misses\n",
+		total.Seconds(), *parallel, hits, misses)
 }

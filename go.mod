@@ -1,0 +1,3 @@
+module opsched
+
+go 1.21

@@ -116,6 +116,7 @@ func Run(g *graph.Graph, sched Scheduler, opts Options) (*Result, error) {
 		// always makes progress.
 		const completionEpsNs = 0.5
 		var still []*Running
+		var completed []*Running
 		for _, r := range st.Running {
 			r.remaining -= elapsed / r.nominal
 			if r != nearest && r.remaining*r.nominal > completionEpsNs {
@@ -123,6 +124,7 @@ func Run(g *graph.Graph, sched Scheduler, opts Options) (*Result, error) {
 				continue
 			}
 			done++
+			completed = append(completed, r)
 			res.Records = append(res.Records, OpRecord{
 				Node: r.Node, Threads: r.Threads, Placement: r.Placement,
 				HT: r.HT, StartNs: r.StartNs, FinishNs: st.ClockNs,
@@ -136,10 +138,16 @@ func Run(g *graph.Graph, sched Scheduler, opts Options) (*Result, error) {
 		}
 		st.Running = still
 		if res.Trace != nil {
-			res.Trace.Add(trace.Event{
-				ClockNs: st.ClockNs, Type: trace.Finish,
-				Node: graph.NodeID(-1), CoRunning: len(st.Running),
-			})
+			// One Finish event per completed operation, attributed to its
+			// real node. Simultaneous completions drain one at a time, so
+			// each event's CoRunning reflects the set still in flight after
+			// that operation retired.
+			for i, r := range completed {
+				res.Trace.Add(trace.Event{
+					ClockNs: st.ClockNs, Type: trace.Finish,
+					Node: r.Node, CoRunning: len(still) + len(completed) - 1 - i,
+				})
+			}
 		}
 	}
 

@@ -8,6 +8,7 @@ import (
 	"opsched/internal/hw"
 	"opsched/internal/nn"
 	"opsched/internal/op"
+	"opsched/internal/trace"
 )
 
 // chain builds a linear graph of n identical convolutions.
@@ -254,5 +255,66 @@ func TestDeterminism(t *testing.T) {
 		if a.Records[i] != b.Records[i] {
 			t.Fatalf("record %d differs between runs", i)
 		}
+	}
+}
+
+// TestTraceFinishPerOperation: every operation gets exactly one Finish event
+// attributed to its real node ID — the attribution Figure 4 needs (the old
+// engine emitted one aggregate Finish per clock advance with Node -1).
+func TestTraceFinishPerOperation(t *testing.T) {
+	g := diamond()
+	res, err := Run(g, &FIFO{InterOp: 2, IntraOp: 34, Place: hw.Shared}, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finishes := make(map[graph.NodeID]int)
+	launches := 0
+	for _, e := range res.Trace.Events() {
+		switch e.Type {
+		case trace.Finish:
+			if g.Node(e.Node) == nil {
+				t.Fatalf("finish event for nonexistent node %d", e.Node)
+			}
+			finishes[e.Node]++
+		case trace.Launch:
+			launches++
+		}
+		if e.CoRunning < 0 {
+			t.Errorf("event with negative co-running count: %+v", e)
+		}
+	}
+	if launches != g.Len() {
+		t.Errorf("launch events = %d, want %d", launches, g.Len())
+	}
+	for _, n := range g.Nodes() {
+		if finishes[n.ID] != 1 {
+			t.Errorf("node %d has %d finish events, want 1", n.ID, finishes[n.ID])
+		}
+	}
+	// The last finish leaves an empty machine.
+	evs := res.Trace.Events()
+	if last := evs[len(evs)-1]; last.Type != trace.Finish || last.CoRunning != 0 {
+		t.Errorf("last event = %+v, want a Finish with 0 co-running", last)
+	}
+}
+
+// TestValidateRejectsImpossiblePinnedPlacement: a pinned decision cannot ask
+// for more threads than the machine has physical cores.
+func TestValidateRejectsImpossiblePinnedPlacement(t *testing.T) {
+	g := chain(2)
+	m := hw.NewKNL()
+	_, err := Run(g, &FIFO{InterOp: 1, IntraOp: m.Cores + 1, Place: hw.Shared, Pinned: true},
+		Options{Machine: m})
+	if err == nil {
+		t.Fatal("pinned decision with threads > cores accepted")
+	}
+	// The same width unpinned models stock TensorFlow oversubscription and
+	// must still execute.
+	if _, err := Run(g, &FIFO{InterOp: 1, IntraOp: m.Cores + 1, Place: hw.Shared}, Options{Machine: m}); err != nil {
+		t.Fatalf("unpinned oversubscribed run failed: %v", err)
+	}
+	// At exactly the core count a pinned decision is legal.
+	if _, err := Run(g, &FIFO{InterOp: 1, IntraOp: m.Cores, Place: hw.Shared, Pinned: true}, Options{Machine: m}); err != nil {
+		t.Fatalf("pinned full-width run failed: %v", err)
 	}
 }

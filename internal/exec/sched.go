@@ -121,6 +121,14 @@ func (d Decision) Validate(st *State) error {
 	if !d.Placement.Valid() {
 		return fmt.Errorf("exec: decision for node %d has invalid placement", d.Node)
 	}
+	if d.Pinned && d.Threads > st.Machine.Cores {
+		// A pinned operation's threads are bound one-per-core to cores
+		// disjoint from other pinned operations; more threads than physical
+		// cores is an impossible placement (unpinned pools model stock
+		// TensorFlow and may oversubscribe).
+		return fmt.Errorf("exec: pinned decision for node %d wants %d threads but machine has %d cores",
+			d.Node, d.Threads, st.Machine.Cores)
+	}
 	for _, id := range st.Ready {
 		if id == d.Node {
 			return nil

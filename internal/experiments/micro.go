@@ -240,7 +240,7 @@ func table5Impl(m *hw.Machine) *Table5Result {
 	for _, model := range modelsForTable5() {
 		accs := make([]float64, 0, len(intervals))
 		for _, x := range intervals {
-			store := perfmodel.ProfileGraph(m, model.Graph, x)
+			store := perfmodel.CachedProfileGraph(m, model.Graph, x)
 			sum, n := 0.0, 0
 			seen := make(map[string]bool)
 			for _, node := range model.Graph.Nodes() {

@@ -9,6 +9,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 
@@ -80,6 +81,24 @@ func (g *Graph) Node(id NodeID) *Node {
 // Nodes returns all nodes in insertion order. The slice is shared; callers
 // must not modify it.
 func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Signature returns a content fingerprint of the graph: the operation class
+// of every node plus the dependency structure, independent of the graph's
+// name and of which Graph instance holds the nodes. Two independently built
+// copies of the same workload share a signature — what keys the perfmodel
+// profile cache across sweep workers.
+func (g *Graph) Signature() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "n=%d;", len(g.nodes))
+	for _, n := range g.nodes {
+		fmt.Fprintf(h, "%s<", n.Op.Signature())
+		for _, d := range n.deps {
+			fmt.Fprintf(h, "%d,", d)
+		}
+		fmt.Fprint(h, ";")
+	}
+	return fmt.Sprintf("g%016x", h.Sum64())
+}
 
 // Validate checks structural invariants: every node has a valid operation
 // and in-range dependencies. (Acyclicity holds by construction; Validate

@@ -177,3 +177,41 @@ func TestTopoOrderTotalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSignatureContentKeyed: the signature depends on operation classes and
+// structure, not on graph name or instance identity — the property the
+// perfmodel profile cache keys on.
+func TestSignatureContentKeyed(t *testing.T) {
+	build := func(name string) *Graph {
+		g := New(name)
+		a := g.Add(op.Conv(op.Conv2D, 32, 8, 8, 128, 3, 128, 1), "conv")
+		g.Add(op.Elementwise(op.Relu, 32, 8, 8, 128), "relu", a)
+		return g
+	}
+	g1, g2 := build("first"), build("second")
+	if g1.Signature() != g2.Signature() {
+		t.Errorf("identical content, different signatures: %s vs %s", g1.Signature(), g2.Signature())
+	}
+
+	bigger := build("third")
+	bigger.Add(op.Elementwise(op.Relu, 32, 8, 8, 128), "extra", 1)
+	if bigger.Signature() == g1.Signature() {
+		t.Error("extra node did not change the signature")
+	}
+
+	// Same nodes, different wiring.
+	flat := New("flat")
+	flat.Add(op.Conv(op.Conv2D, 32, 8, 8, 128, 3, 128, 1), "conv")
+	flat.Add(op.Elementwise(op.Relu, 32, 8, 8, 128), "relu")
+	if flat.Signature() == g1.Signature() {
+		t.Error("different dependency structure did not change the signature")
+	}
+
+	// Same structure, different operation class.
+	other := New("other")
+	b := other.Add(op.Conv(op.Conv2D, 32, 8, 8, 256, 3, 256, 1), "conv")
+	other.Add(op.Elementwise(op.Relu, 32, 8, 8, 128), "relu", b)
+	if other.Signature() == g1.Signature() {
+		t.Error("different operation class did not change the signature")
+	}
+}

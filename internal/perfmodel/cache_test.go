@@ -1,0 +1,109 @@
+package perfmodel
+
+import (
+	"sync"
+	"testing"
+
+	"opsched/internal/graph"
+	"opsched/internal/op"
+)
+
+// cacheGraph builds a small two-class graph; separate calls return separate
+// Graph instances with identical content signatures.
+func cacheGraph() *graph.Graph {
+	g := graph.New("cache-test")
+	a := g.Add(op.Conv(op.Conv2D, 32, 8, 8, 128, 3, 128, 1), "conv")
+	g.Add(op.Elementwise(op.Relu, 32, 8, 8, 128), "relu", a)
+	return g
+}
+
+func TestCacheHitAcrossGraphInstances(t *testing.T) {
+	c := NewCache()
+	m := knl()
+
+	s1 := c.ProfileGraph(m, cacheGraph(), 4)
+	if hits, misses := c.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first call: hits/misses = %d/%d, want 0/1", hits, misses)
+	}
+	// A freshly built graph with the same content must hit.
+	s2 := c.ProfileGraph(m, cacheGraph(), 4)
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("after second call: hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+	if s1 != s2 {
+		t.Error("cache returned a different Store for an identical (machine, graph, interval)")
+	}
+	if s1.Len() != 2 {
+		t.Errorf("store has %d profiles, want 2 (one per operation class)", s1.Len())
+	}
+}
+
+func TestCacheKeyedByIntervalMachineAndContent(t *testing.T) {
+	c := NewCache()
+	m := knl()
+	g := cacheGraph()
+
+	base := c.ProfileGraph(m, g, 4)
+	if c.ProfileGraph(m, g, 2) == base {
+		t.Error("different climb interval reused the same store")
+	}
+	m2 := knl()
+	m2.Cores = 34
+	if c.ProfileGraph(m2, g, 4) == base {
+		t.Error("different machine reused the same store")
+	}
+	g2 := cacheGraph()
+	g2.Add(op.Elementwise(op.Add, 32, 8, 8, 128), "extra", 1)
+	if c.ProfileGraph(m, g2, 4) == base {
+		t.Error("different graph content reused the same store")
+	}
+	if c.Len() != 4 {
+		t.Errorf("cache has %d entries, want 4 distinct keys", c.Len())
+	}
+}
+
+// TestCacheConcurrentSingleComputation drives one key from many goroutines:
+// exactly one computes, everyone gets the same store (verified under -race).
+func TestCacheConcurrentSingleComputation(t *testing.T) {
+	c := NewCache()
+	m := knl()
+
+	const n = 16
+	stores := make([]*Store, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			stores[i] = c.ProfileGraph(m, cacheGraph(), 4)
+		}(i)
+	}
+	wg.Wait()
+
+	hits, misses := c.Stats()
+	if misses != 1 || hits != n-1 {
+		t.Errorf("hits/misses = %d/%d, want %d/1", hits, misses, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if stores[i] != stores[0] {
+			t.Fatalf("goroutine %d got a different store", i)
+		}
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache()
+	m := knl()
+	c.ProfileGraph(m, cacheGraph(), 4)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("Len after Reset = %d", c.Len())
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("Stats after Reset = %d/%d", hits, misses)
+	}
+	c.ProfileGraph(m, cacheGraph(), 4)
+	if _, misses := c.Stats(); misses != 1 {
+		t.Error("recompute after Reset did not count as a miss")
+	}
+}

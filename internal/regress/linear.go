@@ -260,14 +260,20 @@ func (t *TheilSen) Fit(X [][]float64, y []float64) error {
 		for len(seen) < d {
 			seen[r.intn(rows)] = true
 		}
-		i := 0
+		// Sorted subset order keeps the fit reproducible: map iteration
+		// order would otherwise shuffle which row receives which diagonal
+		// loading below, changing coefficients run to run.
+		idxs := make([]int, 0, d)
 		for idx := range seen {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for i, idx := range idxs {
 			row := make([]float64, d)
 			row[0] = 1
 			copy(row[1:], Xs[idx])
 			a[i] = row
 			b[i] = y[idx]
-			i++
 		}
 		for j := 0; j < d; j++ {
 			a[j][j] += 1e-6

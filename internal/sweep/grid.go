@@ -1,0 +1,174 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"opsched/internal/core"
+	"opsched/internal/exec"
+	"opsched/internal/hw"
+	"opsched/internal/nn"
+)
+
+// Policy is one scheduling configuration a grid sweep evaluates: either the
+// paper's runtime under some strategy set, or a uniform FIFO baseline.
+type Policy struct {
+	// Name labels the policy in cells.
+	Name string
+	// Runtime, when non-nil, selects the paper's runtime with this config.
+	Runtime *core.Config
+	// InterOp/IntraOp/Pinned describe a FIFO baseline when Runtime is nil.
+	// IntraOp <= 0 means the machine's core count.
+	InterOp int
+	IntraOp int
+	Pinned  bool
+}
+
+// RuntimePolicy is a Policy running the paper's runtime under cfg.
+func RuntimePolicy(name string, cfg core.Config) Policy {
+	return Policy{Name: name, Runtime: &cfg}
+}
+
+// FIFOPolicy is a Policy running the TensorFlow-style FIFO baseline.
+func FIFOPolicy(name string, interOp, intraOp int) Policy {
+	return Policy{Name: name, InterOp: interOp, IntraOp: intraOp}
+}
+
+// DefaultPolicies is the paper's headline comparison: the recommendation
+// baseline, the strategy ablation, and the full runtime.
+func DefaultPolicies() []Policy {
+	return []Policy{
+		FIFOPolicy("recommendation", 1, 0),
+		RuntimePolicy("s1+2", core.Strategies12()),
+		RuntimePolicy("s1-3", core.Strategies123()),
+		RuntimePolicy("ours", core.AllStrategies()),
+	}
+}
+
+// NamedMachine pairs a hardware model with a label for cell attribution.
+type NamedMachine struct {
+	Name    string
+	Machine *hw.Machine
+}
+
+// Grid is a policy × model × machine sweep specification.
+type Grid struct {
+	// Policies to evaluate; empty means DefaultPolicies.
+	Policies []Policy
+	// Models are workload names accepted by nn.Build; empty means all four.
+	Models []string
+	// Machines to sweep; empty means one NewKNL labelled "knl".
+	Machines []NamedMachine
+}
+
+func (g Grid) policies() []Policy {
+	if len(g.Policies) == 0 {
+		return DefaultPolicies()
+	}
+	return g.Policies
+}
+
+func (g Grid) models() []string {
+	if len(g.Models) == 0 {
+		return nn.Names()
+	}
+	return g.Models
+}
+
+func (g Grid) machines() []NamedMachine {
+	if len(g.Machines) == 0 {
+		return []NamedMachine{{Name: "knl", Machine: hw.NewKNL()}}
+	}
+	return g.Machines
+}
+
+// Cell is the outcome of one grid point.
+type Cell struct {
+	// Machine, Model and Policy name the grid point.
+	Machine string
+	Model   string
+	Policy  string
+	// Scheduler is the concrete policy identity (exec.Scheduler Name).
+	Scheduler string
+	// StepTimeNs is the simulated training-step makespan.
+	StepTimeNs float64
+	// Elapsed is the wall-clock cost of evaluating the cell (the only
+	// nondeterministic field).
+	Elapsed time.Duration
+}
+
+// Cells enumerates the grid points in deterministic machine-major,
+// model-minor, policy-innermost order — the order RunGrid's results use.
+func (g Grid) Cells() []Cell {
+	pts := g.points()
+	cells := make([]Cell, len(pts))
+	for i, pt := range pts {
+		cells[i] = pt.cell
+	}
+	return cells
+}
+
+// gridPoint pairs a cell label with the resolved machine and policy, so
+// RunGrid never round-trips through names (duplicate labels would collide).
+type gridPoint struct {
+	cell    Cell
+	machine *hw.Machine
+	policy  Policy
+}
+
+func (g Grid) points() []gridPoint {
+	var pts []gridPoint
+	for _, m := range g.machines() {
+		for _, model := range g.models() {
+			for _, p := range g.policies() {
+				pts = append(pts, gridPoint{
+					cell:    Cell{Machine: m.Name, Model: model, Policy: p.Name},
+					machine: m.Machine,
+					policy:  p,
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// RunGrid evaluates every grid point on up to parallelism workers. Each cell
+// builds its own graph and scheduler (goroutine confinement); hill-climb
+// profiles are shared across cells through the perfmodel cache, so the four
+// runtime policies of one model profile its graph once, not four times.
+// Results are indexed exactly like Grid.Cells.
+func RunGrid(ctx context.Context, g Grid, parallelism int) ([]Cell, error) {
+	return Map(ctx, parallelism, g.points(), func(ctx context.Context, _ int, pt gridPoint) (Cell, error) {
+		start := time.Now()
+		cell, m, p := pt.cell, pt.machine, pt.policy
+		if m == nil {
+			return Cell{}, fmt.Errorf("sweep: machine %q is nil", cell.Machine)
+		}
+		model, err := nn.Build(cell.Model)
+		if err != nil {
+			return Cell{}, fmt.Errorf("sweep: cell %s/%s/%s: %w", cell.Machine, cell.Model, cell.Policy, err)
+		}
+
+		var res *exec.Result
+		if p.Runtime != nil {
+			rt := core.New(m, *p.Runtime)
+			res, err = rt.RunStep(model.Graph, exec.Options{Machine: m})
+		} else {
+			intra := p.IntraOp
+			if intra <= 0 {
+				intra = m.Cores
+			}
+			res, err = exec.Run(model.Graph,
+				&exec.FIFO{InterOp: p.InterOp, IntraOp: intra, Place: hw.Shared, Pinned: p.Pinned},
+				exec.Options{Machine: m})
+		}
+		if err != nil {
+			return Cell{}, fmt.Errorf("sweep: cell %s/%s/%s: %w", cell.Machine, cell.Model, cell.Policy, err)
+		}
+		cell.Scheduler = res.Scheduler
+		cell.StepTimeNs = res.StepTimeNs
+		cell.Elapsed = time.Since(start)
+		return cell, nil
+	})
+}

@@ -30,11 +30,15 @@
 package opsched
 
 import (
+	"context"
+
 	"opsched/internal/core"
 	"opsched/internal/exec"
 	"opsched/internal/experiments"
 	"opsched/internal/hw"
 	"opsched/internal/nn"
+	"opsched/internal/perfmodel"
+	"opsched/internal/sweep"
 )
 
 // Machine is the manycore hardware model (see hw.Machine).
@@ -123,3 +127,49 @@ func RunExperiment(name string, m *Machine) (string, error) {
 	}
 	return res.Render(), nil
 }
+
+// ExperimentReport is one regenerated table/figure from a sweep: its name,
+// rendered report, and the wall-clock time its worker spent on it.
+type ExperimentReport = sweep.ExperimentReport
+
+// SweepPolicy is one scheduling configuration a grid sweep evaluates.
+type SweepPolicy = sweep.Policy
+
+// SweepGrid is a policy × model × machine sweep specification.
+type SweepGrid = sweep.Grid
+
+// SweepCell is the outcome of one grid point.
+type SweepCell = sweep.Cell
+
+// NamedMachine pairs a hardware model with a label for sweep attribution.
+type NamedMachine = sweep.NamedMachine
+
+// RunExperiments regenerates the named experiments (nil means all, in paper
+// order) across up to parallelism worker goroutines (<= 0 means GOMAXPROCS).
+// Reports are byte-identical to serial runs and returned in request order
+// regardless of completion order.
+func RunExperiments(ctx context.Context, names []string, m *Machine, parallelism int) ([]ExperimentReport, error) {
+	return sweep.Experiments(ctx, m, names, parallelism)
+}
+
+// RunSweep evaluates a policy × model × machine grid across up to
+// parallelism worker goroutines, returning cells in the grid's deterministic
+// enumeration order (see SweepGrid.Cells).
+func RunSweep(ctx context.Context, g SweepGrid, parallelism int) ([]SweepCell, error) {
+	return sweep.RunGrid(ctx, g, parallelism)
+}
+
+// RuntimeSweepPolicy is a SweepPolicy running this package's runtime.
+func RuntimeSweepPolicy(name string, cfg Config) SweepPolicy {
+	return sweep.RuntimePolicy(name, cfg)
+}
+
+// FIFOSweepPolicy is a SweepPolicy running the TensorFlow-style baseline.
+func FIFOSweepPolicy(name string, interOp, intraOp int) SweepPolicy {
+	return sweep.FIFOPolicy(name, interOp, intraOp)
+}
+
+// ProfileCacheStats reports the process-wide hill-climb profile cache's
+// hits and misses — repeated sweeps over the same (machine, graph) reuse
+// profiles instead of re-running ProfileGraph.
+func ProfileCacheStats() (hits, misses int) { return perfmodel.CacheStats() }
