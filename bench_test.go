@@ -182,6 +182,40 @@ func benchSweep(b *testing.B, parallel int) {
 	}
 }
 
+// BenchmarkCoTrain measures the multi-job engine: one co-scheduled step of
+// ResNet-50 + LSTM under each arbiter (solo baselines included, profiles
+// warm after the first iteration).
+func BenchmarkCoTrain(b *testing.B) {
+	m := hw.NewKNL()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, arb := range Arbiters() {
+			res, err := CoTrain([]string{"resnet", "lstm"}, m, AllStrategies(), arb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Jobs) != 2 {
+				b.Fatalf("got %d jobs, want 2", len(res.Jobs))
+			}
+		}
+	}
+}
+
+// BenchmarkJobSweepParallel fans the default job-mix × arbiter grid across
+// GOMAXPROCS workers.
+func BenchmarkJobSweepParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells, err := RunJobSweep(context.Background(), JobSweepGrid{}, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != len(JobSweepGrid{}.Cells()) {
+			b.Fatalf("got %d cells", len(cells))
+		}
+	}
+}
+
 // BenchmarkGraphConstruction measures workload graph building.
 func BenchmarkGraphConstruction(b *testing.B) {
 	b.ReportAllocs()

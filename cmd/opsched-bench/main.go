@@ -1,5 +1,7 @@
 // Command opsched-bench regenerates the paper's evaluation: every table
-// and figure, or a selected subset, fanned across a worker pool.
+// and figure, or a selected subset, fanned across a worker pool. Its -jobs
+// mode instead co-schedules several training jobs on one machine and
+// reports per-job slowdowns and fairness under the cross-job arbiters.
 //
 // Usage:
 //
@@ -9,6 +11,10 @@
 //	opsched-bench -parallel 8     # worker count (default GOMAXPROCS)
 //	opsched-bench -json           # machine-readable reports with timings
 //	opsched-bench -list           # list experiment names
+//
+//	opsched-bench -jobs resnet,lstm -arbiter fair   # one co-run
+//	opsched-bench -jobs "resnet,lstm;inception,dcgan" -arbiter all
+//	                              # mix × arbiter grid through the sweep pool
 //
 // Reports print to stdout in request order and are byte-identical whatever
 // -parallel is; per-experiment wall-clock timings go to stderr (or into the
@@ -44,15 +50,51 @@ type jsonOutput struct {
 	Experiments []jsonReport `json:"experiments"`
 }
 
+type jsonCoJob struct {
+	Name     string  `json:"name"`
+	SoloMs   float64 `json:"solo_ms"`
+	CorunMs  float64 `json:"corun_ms"`
+	Slowdown float64 `json:"slowdown"`
+}
+
+type jsonJobCell struct {
+	Mix       string      `json:"mix"`
+	Arbiter   string      `json:"arbiter"`
+	Report    string      `json:"report"`
+	TotalMs   float64     `json:"total_ms"`
+	Fairness  float64     `json:"fairness"`
+	Jobs      []jsonCoJob `json:"jobs"`
+	ElapsedMs float64     `json:"elapsed_ms"`
+}
+
+type jsonJobsOutput struct {
+	Machine     string        `json:"machine"`
+	Parallel    int           `json:"parallel"`
+	TotalMs     float64       `json:"total_ms"`
+	CacheHits   int           `json:"profile_cache_hits"`
+	CacheMisses int           `json:"profile_cache_misses"`
+	Cells       []jsonJobCell `json:"cells"`
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiments to run, comma-separated (empty = all); see -list")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent experiments (<=0 means GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit reports as JSON with per-experiment timings")
+	jobs := flag.String("jobs", "", `co-schedule mode: model mixes as comma-separated names, semicolon-separated mixes (e.g. "resnet,lstm;inception,dcgan")`)
+	arbiter := flag.String("arbiter", "all", `cross-job arbiters for -jobs: comma-separated from fair, priority, srwf; "all" means every policy`)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(opsched.Experiments(), "\n"))
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *jobs != "" {
+		runJobs(ctx, *jobs, *arbiter, *parallel, *jsonOut)
 		return
 	}
 
@@ -64,9 +106,6 @@ func main() {
 			}
 		}
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	m := opsched.NewKNL()
 	start := time.Now()
@@ -108,4 +147,113 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "opsched-bench: total %.2fs, parallel=%d, profile cache %d hits / %d misses\n",
 		total.Seconds(), *parallel, hits, misses)
+}
+
+// parseMixes turns "resnet,lstm;inception,dcgan" into job mixes with
+// canonical model names, so mix labels and reports are spelling-independent.
+func parseMixes(spec string) ([]opsched.JobMix, error) {
+	var mixes []opsched.JobMix
+	for _, part := range strings.Split(spec, ";") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		var models []string
+		for _, name := range strings.Split(part, ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			canonical, err := opsched.ResolveModel(name)
+			if err != nil {
+				return nil, err
+			}
+			models = append(models, canonical)
+		}
+		if len(models) == 0 {
+			continue
+		}
+		mixes = append(mixes, opsched.JobMix{Models: models})
+	}
+	if len(mixes) == 0 {
+		return nil, fmt.Errorf("-jobs %q names no models", spec)
+	}
+	return mixes, nil
+}
+
+// parseArbiters turns "fair,priority" (or "all") into a policy list.
+func parseArbiters(spec string) ([]string, error) {
+	if strings.TrimSpace(spec) == "all" || strings.TrimSpace(spec) == "" {
+		return opsched.Arbiters(), nil
+	}
+	var arbs []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			arbs = append(arbs, a)
+		}
+	}
+	return arbs, nil
+}
+
+// runJobs is the -jobs mode: a job-mix × arbiter grid through the sweep
+// pool, with the same determinism contract as the experiment mode — stdout
+// is byte-identical at any -parallel, timings go to stderr or the JSON
+// payload.
+func runJobs(ctx context.Context, jobsSpec, arbiterSpec string, parallel int, jsonOut bool) {
+	mixes, err := parseMixes(jobsSpec)
+	if err == nil {
+		var arbs []string
+		if arbs, err = parseArbiters(arbiterSpec); err == nil {
+			grid := opsched.JobSweepGrid{Mixes: mixes, Arbiters: arbs}
+			start := time.Now()
+			var cells []opsched.JobSweepCell
+			if cells, err = opsched.RunJobSweep(ctx, grid, parallel); err == nil {
+				emitJobCells(cells, time.Since(start), parallel, jsonOut)
+				return
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
+	os.Exit(1)
+}
+
+func emitJobCells(cells []opsched.JobSweepCell, total time.Duration, parallel int, jsonOut bool) {
+	hits, misses := opsched.ProfileCacheStats()
+	if jsonOut {
+		out := jsonJobsOutput{
+			Machine:     opsched.NewKNL().String(),
+			Parallel:    parallel,
+			TotalMs:     float64(total.Microseconds()) / 1e3,
+			CacheHits:   hits,
+			CacheMisses: misses,
+		}
+		for _, c := range cells {
+			jc := jsonJobCell{
+				Mix: c.Mix, Arbiter: c.Arbiter, Report: c.Result.Render(),
+				TotalMs:   c.Result.TotalNs / 1e6,
+				Fairness:  c.Result.FairnessIndex,
+				ElapsedMs: float64(c.Elapsed.Microseconds()) / 1e3,
+			}
+			for _, j := range c.Result.Jobs {
+				jc.Jobs = append(jc.Jobs, jsonCoJob{
+					Name: j.Name, SoloMs: j.SoloNs / 1e6,
+					CorunMs: j.MakespanNs / 1e6, Slowdown: j.Slowdown,
+				})
+			}
+			out.Cells = append(out.Cells, jc)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("machine: %v\n\n", opsched.NewKNL())
+	for _, c := range cells {
+		fmt.Printf("=== %s / %s ===\n%s\n", c.Mix, c.Arbiter, c.Result.Render())
+		fmt.Fprintf(os.Stderr, "opsched-bench: %-30s %.2fs\n", c.Mix+"/"+c.Arbiter, c.Elapsed.Seconds())
+	}
+	fmt.Fprintf(os.Stderr, "opsched-bench: total %.2fs, parallel=%d, profile cache %d hits / %d misses\n",
+		total.Seconds(), parallel, hits, misses)
 }

@@ -91,40 +91,11 @@ func Run(g *graph.Graph, sched Scheduler, opts Options) (*Result, error) {
 				sched.Name(), len(st.Ready), done, g.Len())
 		}
 
-		recomputeRates(st)
+		RecomputeRates(st)
 
-		// Advance the clock to the earliest completion.
-		next := math.Inf(1)
-		var nearest *Running
-		for _, r := range st.Running {
-			if t := st.ClockNs + r.RemainingNs(); t < next {
-				next = t
-				nearest = r
-			}
-		}
-		elapsed := next - st.ClockNs
-		if elapsed < 0 {
-			elapsed = 0
-		}
-		st.ClockNs = next
-
-		// Progress every running op and harvest completions. Remaining
-		// times below half a nanosecond count as done: every modeled
-		// operation takes microseconds, and once the clock is large,
-		// sub-ulp remainders would otherwise never drain (clock+r == clock
-		// in float64). The `nearest` op is forced complete so the loop
-		// always makes progress.
-		const completionEpsNs = 0.5
-		var still []*Running
-		var completed []*Running
-		for _, r := range st.Running {
-			r.remaining -= elapsed / r.nominal
-			if r != nearest && r.remaining*r.nominal > completionEpsNs {
-				still = append(still, r)
-				continue
-			}
+		completed := AdvanceToNextCompletion(st)
+		for _, r := range completed {
 			done++
-			completed = append(completed, r)
 			res.Records = append(res.Records, OpRecord{
 				Node: r.Node, Threads: r.Threads, Placement: r.Placement,
 				HT: r.HT, StartNs: r.StartNs, FinishNs: st.ClockNs,
@@ -136,7 +107,6 @@ func Run(g *graph.Graph, sched Scheduler, opts Options) (*Result, error) {
 				}
 			}
 		}
-		st.Running = still
 		if res.Trace != nil {
 			// One Finish event per completed operation, attributed to its
 			// real node. Simultaneous completions drain one at a time, so
@@ -145,7 +115,7 @@ func Run(g *graph.Graph, sched Scheduler, opts Options) (*Result, error) {
 			for i, r := range completed {
 				res.Trace.Add(trace.Event{
 					ClockNs: st.ClockNs, Type: trace.Finish,
-					Node: r.Node, CoRunning: len(still) + len(completed) - 1 - i,
+					Node: r.Node, CoRunning: len(st.Running) + len(completed) - 1 - i,
 				})
 			}
 		}
@@ -158,6 +128,25 @@ func Run(g *graph.Graph, sched Scheduler, opts Options) (*Result, error) {
 // launch removes the node from the ready queue and adds it to the running
 // set.
 func launch(st *State, d Decision, res *Result) error {
+	r, err := Start(st, d)
+	if err != nil {
+		return err
+	}
+	if res.Trace != nil {
+		res.Trace.Add(trace.Event{
+			ClockNs: st.ClockNs, Type: trace.Launch,
+			Node: r.Node, CoRunning: len(st.Running),
+		})
+	}
+	return nil
+}
+
+// Start launches one decision: the node leaves st.Ready, its solo duration
+// and bandwidth demand are priced on st.Machine, and the resulting Running —
+// tagged with the decision's Job — joins st.Running. Start does not
+// re-validate the decision beyond readiness; callers wanting the full sanity
+// checks run Decision.Validate first, as exec.Run does.
+func Start(st *State, d Decision) (*Running, error) {
 	idx := -1
 	for i, id := range st.Ready {
 		if id == d.Node {
@@ -166,38 +155,78 @@ func launch(st *State, d Decision, res *Result) error {
 		}
 	}
 	if idx < 0 {
-		return fmt.Errorf("exec: node %d not in ready queue", d.Node)
+		return nil, fmt.Errorf("exec: node %d not in ready queue", d.Node)
 	}
 	st.Ready = append(st.Ready[:idx], st.Ready[idx+1:]...)
 
 	cost := st.Graph.Node(d.Node).Op.Cost()
 	if err := cost.Validate(); err != nil {
-		return fmt.Errorf("exec: node %d: %w", d.Node, err)
+		return nil, fmt.Errorf("exec: node %d: %w", d.Node, err)
 	}
 	solo := st.Machine.OpTime(cost, d.Threads, d.Placement, hw.Solo())
 	r := &Running{
-		Node: d.Node, Threads: d.Threads, Placement: d.Placement, HT: d.HT,
-		Pinned: d.Pinned, StartNs: st.ClockNs, cost: cost, remaining: 1, nominal: solo,
+		Node: d.Node, Job: d.Job, Threads: d.Threads, Placement: d.Placement,
+		HT: d.HT, Pinned: d.Pinned, StartNs: st.ClockNs,
+		cost: cost, remaining: 1, nominal: solo,
 	}
 	if solo > 0 {
 		r.demand = st.Machine.MemTraffic(cost, d.Threads, d.Placement) / solo
 	}
 	st.Running = append(st.Running, r)
-	if res.Trace != nil {
-		res.Trace.Add(trace.Event{
-			ClockNs: st.ClockNs, Type: trace.Launch,
-			Node: d.Node, CoRunning: len(st.Running),
-		})
-	}
-	return nil
+	return r, nil
 }
 
-// recomputeRates refreshes every running operation's nominal duration for
+// AdvanceToNextCompletion moves st.ClockNs forward to the earliest
+// completion among st.Running, progresses every running operation by the
+// elapsed virtual time, removes the completed operations from st.Running and
+// returns them in running-set order. It returns nil when nothing is running.
+//
+// Remaining times below half a nanosecond count as done: every modeled
+// operation takes microseconds, and once the clock is large, sub-ulp
+// remainders would otherwise never drain (clock+r == clock in float64). The
+// nearest op is forced complete so callers always make progress.
+func AdvanceToNextCompletion(st *State) []*Running {
+	next := math.Inf(1)
+	var nearest *Running
+	for _, r := range st.Running {
+		if t := st.ClockNs + r.RemainingNs(); t < next {
+			next = t
+			nearest = r
+		}
+	}
+	if nearest == nil {
+		return nil
+	}
+	elapsed := next - st.ClockNs
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	st.ClockNs = next
+
+	const completionEpsNs = 0.5
+	var still []*Running
+	var completed []*Running
+	for _, r := range st.Running {
+		r.remaining -= elapsed / r.nominal
+		if r != nearest && r.remaining*r.nominal > completionEpsNs {
+			still = append(still, r)
+			continue
+		}
+		completed = append(completed, r)
+	}
+	st.Running = still
+	return completed
+}
+
+// RecomputeRates refreshes every running operation's nominal duration for
 // the current co-run set: bandwidth is shared when total demand exceeds the
 // machine peak, hyper-threading guests slow their hosts, and
 // oversubscription beyond the physical cores stacks everything onto
-// hyper-threads (the TensorFlow-default behaviour of Table I).
-func recomputeRates(st *State) {
+// hyper-threads (the TensorFlow-default behaviour of Table I). The co-run
+// set is whatever st.Running holds — in multi-job execution that is the
+// union across jobs, which is how co-located jobs genuinely slow each other
+// down.
+func RecomputeRates(st *State) {
 	m := st.Machine
 
 	totalThreads := 0

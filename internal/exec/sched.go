@@ -19,6 +19,11 @@ import (
 type Decision struct {
 	// Node is the ready operation to launch.
 	Node graph.NodeID
+	// Job identifies which training job the operation belongs to when
+	// several jobs share the machine (see internal/multijob). Single-job
+	// execution leaves it 0; schedulers never need to set it — the engine
+	// that owns the job does.
+	Job int
 	// Threads is the intra-op parallelism.
 	Threads int
 	// Placement is the tile layout of the threads.
@@ -41,6 +46,7 @@ type Decision struct {
 // not modify it.
 type Running struct {
 	Node      graph.NodeID
+	Job       int // owning job (0 in single-job execution)
 	Threads   int
 	Placement hw.Placement
 	HT        bool
@@ -128,6 +134,22 @@ func (d Decision) Validate(st *State) error {
 		// TensorFlow and may oversubscribe).
 		return fmt.Errorf("exec: pinned decision for node %d wants %d threads but machine has %d cores",
 			d.Node, d.Threads, st.Machine.Cores)
+	}
+	if d.HT {
+		// A hyper-threading guest rides the second hardware thread of cores
+		// some running operation occupies; with no non-HT operation in
+		// flight there is no host to ride. Decisions in one batch launch in
+		// order, so a host launched earlier in the same batch counts.
+		host := false
+		for _, r := range st.Running {
+			if !r.HT {
+				host = true
+				break
+			}
+		}
+		if !host {
+			return fmt.Errorf("exec: HT decision for node %d has no running host operation", d.Node)
+		}
 	}
 	for _, id := range st.Ready {
 		if id == d.Node {

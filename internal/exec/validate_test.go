@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"testing"
+
+	"opsched/internal/graph"
+	"opsched/internal/hw"
+)
+
+// TestValidateRejectsNonPositiveThreads: zero or negative intra-op
+// parallelism is never a legal launch.
+func TestValidateRejectsNonPositiveThreads(t *testing.T) {
+	m := hw.NewKNL()
+	g := chain(2)
+	st := &State{Machine: m, Graph: g, Ready: []graph.NodeID{0}}
+	for _, threads := range []int{0, -3} {
+		d := Decision{Node: 0, Threads: threads, Placement: hw.Shared}
+		if err := d.Validate(st); err == nil {
+			t.Errorf("decision with %d threads accepted", threads)
+		}
+	}
+}
+
+// TestValidateRejectsHTWithoutHost: a hyper-threading co-run rides the
+// second hardware thread of cores a running operation occupies; with no
+// non-HT operation in flight there is no host to ride.
+func TestValidateRejectsHTWithoutHost(t *testing.T) {
+	m := hw.NewKNL()
+	g := chain(2)
+	d := Decision{Node: 1, Threads: 4, Placement: hw.Spread, HT: true}
+
+	empty := &State{Machine: m, Graph: g, Ready: []graph.NodeID{1}}
+	if err := d.Validate(empty); err == nil {
+		t.Error("HT decision with nothing running accepted")
+	}
+
+	// Other HT guests are not hosts either.
+	guestsOnly := &State{Machine: m, Graph: g, Ready: []graph.NodeID{1},
+		Running: []*Running{{Node: 0, Threads: 4, Placement: hw.Spread, HT: true}}}
+	if err := d.Validate(guestsOnly); err == nil {
+		t.Error("HT decision with only HT guests running accepted")
+	}
+
+	// A non-HT operation in flight makes the same decision legal.
+	hosted := &State{Machine: m, Graph: g, Ready: []graph.NodeID{1},
+		Running: []*Running{{Node: 0, Threads: m.Cores, Placement: hw.Shared}}}
+	if err := d.Validate(hosted); err != nil {
+		t.Errorf("HT decision with a running host rejected: %v", err)
+	}
+}
+
+// TestStartAndAdvance: Start prices an operation, tags it with the
+// decision's job, and AdvanceToNextCompletion retires it at the shared
+// clock.
+func TestStartAndAdvance(t *testing.T) {
+	m := hw.NewKNL()
+	g := chain(1)
+	st := &State{Machine: m, Graph: g, Ready: []graph.NodeID{0}}
+	r, err := Start(st, Decision{Node: 0, Job: 3, Threads: 16, Placement: hw.Shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Job != 3 {
+		t.Errorf("running op has job %d, want 3", r.Job)
+	}
+	if len(st.Ready) != 0 || len(st.Running) != 1 {
+		t.Fatalf("after Start: %d ready, %d running", len(st.Ready), len(st.Running))
+	}
+	RecomputeRates(st)
+	done := AdvanceToNextCompletion(st)
+	if len(done) != 1 || done[0] != r {
+		t.Fatalf("advance returned %d completions", len(done))
+	}
+	if len(st.Running) != 0 || st.ClockNs <= 0 {
+		t.Errorf("after advance: %d running, clock %v", len(st.Running), st.ClockNs)
+	}
+	if extra := AdvanceToNextCompletion(st); extra != nil {
+		t.Errorf("advance with nothing running returned %d completions", len(extra))
+	}
+	// Starting a node that is not ready must fail.
+	if _, err := Start(st, Decision{Node: 0, Threads: 16, Placement: hw.Shared}); err == nil {
+		t.Error("Start accepted a node missing from the ready queue")
+	}
+}

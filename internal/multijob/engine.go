@@ -1,0 +1,329 @@
+package multijob
+
+import (
+	"fmt"
+
+	"opsched/internal/exec"
+	"opsched/internal/graph"
+	"opsched/internal/hw"
+	"opsched/internal/perfmodel"
+)
+
+// defaultProfileInterval is the hill-climbing interval used to price
+// remaining work when a Job does not specify one — the same default as
+// core.Config, so the process-wide perfmodel cache is shared with the
+// runtime's own profiling.
+const defaultProfileInterval = 4
+
+// JobState is the arbiter's view of one job mid-run. Arbiters may inspect
+// the embedded Job and the accessor methods but must not mutate anything.
+type JobState struct {
+	Job
+	// Index is the job's position in the CoTrain input (the determinism
+	// tie-breaker).
+	Index int
+
+	in      []int          // outstanding dependency counts, by NodeID
+	ready   []graph.NodeID // ready queue in enqueue order
+	running []*exec.Running
+	done    int
+	records []exec.OpRecord
+
+	workNs        []float64 // predicted solo work per node, by NodeID
+	totalWork     float64
+	remainingWork float64
+	finishNs      float64
+	saturated     bool // no more launches until the next completion event
+}
+
+// Active reports whether the job still has operations to finish.
+func (j *JobState) Active() bool { return j.done < j.Graph.Len() }
+
+// CoresInUse reports how many physical cores the job's in-flight non-HT
+// operations occupy.
+func (j *JobState) CoresInUse(m *hw.Machine) int {
+	used := 0
+	for _, r := range j.running {
+		if !r.HT {
+			used += r.Placement.CoresUsed(m, r.Threads)
+		}
+	}
+	return used
+}
+
+// RemainingWorkNs is the predicted solo execution time of the job's
+// unfinished operations — what the SRWF arbiter ranks by.
+func (j *JobState) RemainingWorkNs() float64 { return j.remainingWork }
+
+// ProgressFraction is the weight-normalized fraction of the job's predicted
+// work already retired, in [0,1] — what the fair-share arbiter equalizes.
+func (j *JobState) ProgressFraction() float64 {
+	if j.totalWork <= 0 {
+		return 1
+	}
+	return (j.totalWork - j.remainingWork) / j.totalWork
+}
+
+// Options configure a co-scheduled run.
+type Options struct {
+	// Machine is the shared hardware model; nil means hw.NewKNL().
+	Machine *hw.Machine
+}
+
+// engine is the multi-job discrete-event loop: per-job ready bookkeeping,
+// one global running union, one shared clock.
+type engine struct {
+	m      *hw.Machine
+	arb    Arbiter
+	js     []*JobState
+	global *exec.State // Running is the union across jobs; Graph/Ready unused
+	done   int
+	total  int
+}
+
+// CoTrain executes one training step of every job concurrently on one
+// machine under the given cross-job arbiter (nil means FairShare). It first
+// runs each job solo for the slowdown baseline, then co-runs them from a
+// common virtual time zero. Execution is fully deterministic.
+func CoTrain(jobs []Job, arb Arbiter, opts Options) (*Result, error) {
+	if err := validateJobs(jobs); err != nil {
+		return nil, err
+	}
+	if arb == nil {
+		arb = FairShare{}
+	}
+	m := opts.Machine
+	if m == nil {
+		m = hw.NewKNL()
+	}
+
+	// Solo baselines: each job alone on the machine under its own
+	// scheduler. Runtime schedulers are already profiled, so this is the
+	// exact single-job behaviour the facade's TrainStep produces.
+	solos := make([]float64, len(jobs))
+	for i, job := range jobs {
+		res, err := exec.Run(job.Graph, job.Sched, exec.Options{Machine: m})
+		if err != nil {
+			return nil, fmt.Errorf("multijob: solo run of job %s: %w", job.Name, err)
+		}
+		solos[i] = res.StepTimeNs
+	}
+
+	e := &engine{m: m, arb: arb, global: &exec.State{Machine: m}}
+	for i, job := range jobs {
+		j := &JobState{Job: job, Index: i, in: job.Graph.InDegrees()}
+		for id, d := range j.in {
+			if d == 0 {
+				j.ready = append(j.ready, graph.NodeID(id))
+			}
+		}
+		j.workNs = predictedWork(m, j.Graph, job.ProfileInterval)
+		for _, w := range j.workNs {
+			j.remainingWork += w
+		}
+		j.totalWork = j.remainingWork
+		e.js = append(e.js, j)
+		e.total += job.Graph.Len()
+	}
+
+	for e.done < e.total {
+		if err := e.scheduleEvent(); err != nil {
+			return nil, err
+		}
+		exec.RecomputeRates(e.global)
+		completed := exec.AdvanceToNextCompletion(e.global)
+		for _, r := range completed {
+			e.harvest(r)
+		}
+		for _, j := range e.js {
+			j.saturated = false
+		}
+	}
+
+	res := &Result{Arbiter: arb.Name(), Machine: m.String(), TotalNs: e.global.ClockNs}
+	progress := make([]float64, 0, len(e.js))
+	for i, j := range e.js {
+		jr := JobResult{
+			Name: j.Name, Scheduler: j.Sched.Name(), Ops: j.done,
+			SoloNs: solos[i], MakespanNs: j.finishNs, Records: j.records,
+		}
+		if jr.SoloNs > 0 {
+			jr.Slowdown = jr.MakespanNs / jr.SoloNs
+			progress = append(progress, jr.SoloNs/jr.MakespanNs)
+		}
+		res.Jobs = append(res.Jobs, jr)
+	}
+	res.FairnessIndex = jainIndex(progress)
+	return res, nil
+}
+
+// scheduleEvent runs budgeted scheduling rounds until no job can launch,
+// forcing the first schedulable job past its budget whenever the machine
+// would otherwise sit idle — the progress guarantee that makes every
+// arbiter deadlock-free.
+func (e *engine) scheduleEvent() error {
+	for {
+		// Budgeted rounds: ask every unsaturated job in arbiter order until
+		// a full round launches nothing.
+		for {
+			any := false
+			for _, j := range e.arb.Order(e.js) {
+				if j.saturated || len(j.ready) == 0 {
+					continue
+				}
+				n, err := e.scheduleJob(j, false)
+				if err != nil {
+					return err
+				}
+				if n > 0 {
+					any = true
+				}
+			}
+			if !any {
+				break
+			}
+		}
+		if len(e.global.Running) > 0 {
+			return nil
+		}
+
+		// Nothing running and nothing fit a budget: let the first job in
+		// claim order launch unbudgeted so the machine never idles.
+		forced := false
+		for _, j := range e.arb.Order(e.js) {
+			if len(j.ready) == 0 {
+				continue
+			}
+			j.saturated = false
+			n, err := e.scheduleJob(j, true)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				forced = true
+				break
+			}
+		}
+		if !forced {
+			ready := 0
+			for _, j := range e.js {
+				ready += len(j.ready)
+			}
+			return fmt.Errorf("multijob: arbiter %q stalled with %d ready and %d done of %d ops",
+				e.arb.Name(), ready, e.done, e.total)
+		}
+		// With a host now in flight, re-poll every job before advancing the
+		// clock: clear the saturation flags set during the empty-machine
+		// rounds so the budgeted pass genuinely re-asks each scheduler
+		// (Strategy-4 guests, for one, only exist once a host is running).
+		for _, j := range e.js {
+			j.saturated = false
+		}
+	}
+}
+
+// scheduleJob asks one job's scheduler for decisions against its own-job
+// view of the machine and launches those that fit the arbiter's core budget
+// (all of them when unbudgeted). It returns the number of launches.
+func (e *engine) scheduleJob(j *JobState, unbudgeted bool) (int, error) {
+	// The view a per-job runtime gets: its graph, its ready queue, its own
+	// in-flight operations. Cross-job interference is invisible to it —
+	// that is the arbiter's and the machine model's business.
+	view := &exec.State{Machine: e.m, Graph: j.Graph, ClockNs: e.global.ClockNs,
+		Ready: j.ready, Running: j.running}
+	decs := j.Sched.Schedule(view)
+	if len(decs) == 0 {
+		j.saturated = true
+		return 0, nil
+	}
+	budget := e.m.Cores
+	if !unbudgeted {
+		budget = e.arb.Budget(j, e.js, e.m)
+	}
+
+	launched := 0
+	for _, d := range decs {
+		d.Job = j.Index
+		if err := d.Validate(view); err != nil {
+			return launched, fmt.Errorf("multijob: job %s: %w", j.Name, err)
+		}
+		need := 0
+		if !d.HT {
+			need = d.Placement.CoresUsed(e.m, d.Threads)
+		}
+		if need > 0 && j.CoresInUse(e.m)+need > budget {
+			// Over budget: drop the rest of the batch and wait for the next
+			// completion event (the scheduler would re-propose the same
+			// decisions forever otherwise).
+			j.saturated = true
+			break
+		}
+		// Launch into the union; the job's own view tracks the same
+		// Running entry so both states advance together.
+		st := &exec.State{Machine: e.m, Graph: j.Graph, ClockNs: e.global.ClockNs,
+			Ready: view.Ready, Running: e.global.Running}
+		r, err := exec.Start(st, d)
+		if err != nil {
+			return launched, fmt.Errorf("multijob: job %s: %w", j.Name, err)
+		}
+		e.global.Running = st.Running
+		view.Ready = st.Ready
+		j.running = append(j.running, r)
+		view.Running = j.running
+		launched++
+	}
+	j.ready = view.Ready
+	return launched, nil
+}
+
+// harvest retires one completed operation: record it, release its
+// dependents into the owning job's ready queue, and update the job's
+// progress accounting.
+func (e *engine) harvest(r *exec.Running) {
+	j := e.js[r.Job]
+	j.done++
+	e.done++
+	j.finishNs = e.global.ClockNs
+	j.remainingWork -= j.workNs[r.Node]
+	if j.remainingWork < 0 {
+		j.remainingWork = 0
+	}
+	j.records = append(j.records, exec.OpRecord{
+		Node: r.Node, Threads: r.Threads, Placement: r.Placement,
+		HT: r.HT, StartNs: r.StartNs, FinishNs: e.global.ClockNs,
+	})
+	for i, o := range j.running {
+		if o == r {
+			j.running = append(j.running[:i], j.running[i+1:]...)
+			break
+		}
+	}
+	for _, c := range j.Graph.Node(r.Node).Consumers() {
+		j.in[c]--
+		if j.in[c] == 0 {
+			j.ready = append(j.ready, c)
+		}
+	}
+}
+
+// predictedWork prices every node of g at its perfmodel-tuned
+// configuration's predicted time (the machine-model baseline width when the
+// profile lacks the class), indexed by NodeID. This is the work metric the
+// SRWF arbiter ranks jobs by. The interval must match the job's own
+// profiling interval (<= 0 means the default) or the cache entry is missed
+// and the rankings come from a differently-tuned profile.
+func predictedWork(m *hw.Machine, g *graph.Graph, interval int) []float64 {
+	if interval <= 0 {
+		interval = defaultProfileInterval
+	}
+	store := perfmodel.CachedProfileGraph(m, g, interval)
+	work := make([]float64, g.Len())
+	for _, n := range g.Nodes() {
+		if pr, ok := store.Get(n.Op.Signature()); ok && pr.Best.TimeNs > 0 {
+			work[n.ID] = pr.Best.TimeNs
+			continue
+		}
+		work[n.ID] = m.OpTime(n.Op.Cost(), m.Cores, hw.Shared, hw.Solo())
+	}
+	return work
+}

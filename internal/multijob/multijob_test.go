@@ -1,0 +1,201 @@
+package multijob
+
+import (
+	"math"
+	"testing"
+
+	"opsched/internal/core"
+	"opsched/internal/hw"
+	"opsched/internal/nn"
+)
+
+// runtimeJobs builds one runtime-scheduled job per model name, earlier
+// models outranking later ones in strict priority.
+func runtimeJobs(t *testing.T, m *hw.Machine, names ...string) []Job {
+	t.Helper()
+	jobs := make([]Job, len(names))
+	for i, name := range names {
+		model := nn.MustBuild(name)
+		j, err := RuntimeJob(model.Name, model.Graph, m, core.AllStrategies())
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Priority = len(names) - i
+		jobs[i] = j
+	}
+	return jobs
+}
+
+// TestCoRunNeverBeatsSolo: sharing a machine can only hurt — under every
+// arbiter, every job's co-run makespan is at least its solo makespan, and
+// the run executes every operation of every graph.
+func TestCoRunNeverBeatsSolo(t *testing.T) {
+	m := hw.NewKNL()
+	for _, arbName := range Arbiters() {
+		arb, err := NewArbiter(arbName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := runtimeJobs(t, m, nn.ResNet50, nn.LSTM)
+		res, err := CoTrain(jobs, arb, Options{Machine: m})
+		if err != nil {
+			t.Fatalf("%s: %v", arbName, err)
+		}
+		maxMakespan := 0.0
+		for i, jr := range res.Jobs {
+			if jr.Ops != jobs[i].Graph.Len() || len(jr.Records) != jr.Ops {
+				t.Errorf("%s/%s: %d ops, %d records, graph has %d",
+					arbName, jr.Name, jr.Ops, len(jr.Records), jobs[i].Graph.Len())
+			}
+			if jr.SoloNs <= 0 || jr.MakespanNs < jr.SoloNs*(1-1e-9) {
+				t.Errorf("%s/%s: co-run %.0fns beats solo %.0fns",
+					arbName, jr.Name, jr.MakespanNs, jr.SoloNs)
+			}
+			if jr.Slowdown < 1-1e-9 {
+				t.Errorf("%s/%s: slowdown %.4f < 1", arbName, jr.Name, jr.Slowdown)
+			}
+			last := 0.0
+			for _, r := range jr.Records {
+				if r.FinishNs > last {
+					last = r.FinishNs
+				}
+			}
+			if math.Abs(last-jr.MakespanNs) > 1e-6 {
+				t.Errorf("%s/%s: makespan %.0f != last record finish %.0f",
+					arbName, jr.Name, jr.MakespanNs, last)
+			}
+			if jr.MakespanNs > maxMakespan {
+				maxMakespan = jr.MakespanNs
+			}
+		}
+		if math.Abs(res.TotalNs-maxMakespan) > 1e-6 {
+			t.Errorf("%s: total %.0f != max makespan %.0f", arbName, res.TotalNs, maxMakespan)
+		}
+		if res.FairnessIndex <= 0 || res.FairnessIndex > 1+1e-9 {
+			t.Errorf("%s: fairness index %.4f outside (0,1]", arbName, res.FairnessIndex)
+		}
+	}
+}
+
+// TestCoTrainDeterminism: the same mix under the same arbiter renders a
+// byte-identical report on every run.
+func TestCoTrainDeterminism(t *testing.T) {
+	m := hw.NewKNL()
+	for _, arbName := range Arbiters() {
+		arb, _ := NewArbiter(arbName)
+		run := func() string {
+			res, err := CoTrain(runtimeJobs(t, m, nn.DCGAN, nn.LSTM), arb, Options{Machine: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Render()
+		}
+		if a, b := run(), run(); a != b {
+			t.Errorf("%s: reports differ:\n%s\nvs\n%s", arbName, a, b)
+		}
+	}
+}
+
+// TestSingleJobMatchesSolo: a co-run of one job is exactly that job's solo
+// run — no phantom contention, slowdown exactly 1.
+func TestSingleJobMatchesSolo(t *testing.T) {
+	m := hw.NewKNL()
+	res, err := CoTrain(runtimeJobs(t, m, nn.LSTM), FairShare{}, Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := res.Jobs[0]
+	if jr.MakespanNs != jr.SoloNs {
+		t.Errorf("single-job co-run %.3fns != solo %.3fns", jr.MakespanNs, jr.SoloNs)
+	}
+	if res.FairnessIndex != 1 {
+		t.Errorf("single-job fairness %.4f, want 1", res.FairnessIndex)
+	}
+}
+
+// TestPriorityFavorsTopJob: under strict priority the top-ranked job is
+// slowed no more than the bottom-ranked one.
+func TestPriorityFavorsTopJob(t *testing.T) {
+	m := hw.NewKNL()
+	res, err := CoTrain(runtimeJobs(t, m, nn.ResNet50, nn.LSTM), Priority{}, Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top, low := res.Jobs[0].Slowdown, res.Jobs[1].Slowdown; top > low+1e-9 {
+		t.Errorf("priority slowed the top job more (%.3f) than the bottom one (%.3f)", top, low)
+	}
+}
+
+// TestSRWFDrainsShortJobFirst: shortest-remaining-work-first finishes the
+// short job before the long one.
+func TestSRWFDrainsShortJobFirst(t *testing.T) {
+	m := hw.NewKNL()
+	res, err := CoTrain(runtimeJobs(t, m, nn.ResNet50, nn.LSTM), SRWF{}, Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, short := res.Jobs[0], res.Jobs[1]
+	if short.MakespanNs > long.MakespanNs {
+		t.Errorf("srwf finished the short job (%.0fns) after the long one (%.0fns)",
+			short.MakespanNs, long.MakespanNs)
+	}
+}
+
+// TestMixedSchedulerJobs: a runtime-tuned job and a FIFO-baseline job can
+// share the machine, and fair-share weights are accepted.
+func TestMixedSchedulerJobs(t *testing.T) {
+	m := hw.NewKNL()
+	lstm := nn.MustBuild(nn.LSTM)
+	dcgan := nn.MustBuild(nn.DCGAN)
+	tuned, err := RuntimeJob("tuned", lstm.Graph, m, core.AllStrategies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo := FIFOJob("fifo", dcgan.Graph, 1, m.Cores)
+	fifo.Weight = 2
+	res, err := CoTrain([]Job{tuned, fifo}, FairShare{}, Options{Machine: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jr := range res.Jobs {
+		if jr.Slowdown < 1-1e-9 {
+			t.Errorf("%s: slowdown %.4f < 1", jr.Name, jr.Slowdown)
+		}
+	}
+}
+
+// TestJainIndex: the fairness metric is 1 for equal allocations and
+// degrades toward 1/n for one-sided ones.
+func TestJainIndex(t *testing.T) {
+	if got := jainIndex([]float64{0.5, 0.5, 0.5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal allocations: %v, want 1", got)
+	}
+	got := jainIndex([]float64{1, 0, 0, 0})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("one-sided allocation over 4 jobs: %v, want 0.25", got)
+	}
+	if got := jainIndex(nil); got != 1 {
+		t.Errorf("empty allocation: %v, want 1", got)
+	}
+}
+
+// TestCoTrainErrors: malformed inputs fail loudly.
+func TestCoTrainErrors(t *testing.T) {
+	m := hw.NewKNL()
+	if _, err := CoTrain(nil, FairShare{}, Options{Machine: m}); err == nil {
+		t.Error("empty job set accepted")
+	}
+	lstm := nn.MustBuild(nn.LSTM)
+	if _, err := CoTrain([]Job{{Name: "", Graph: lstm.Graph}}, FairShare{}, Options{Machine: m}); err == nil {
+		t.Error("unnamed job accepted")
+	}
+	if _, err := CoTrain([]Job{{Name: "x", Graph: lstm.Graph}}, FairShare{}, Options{Machine: m}); err == nil {
+		t.Error("job with nil scheduler accepted")
+	}
+	if _, err := CoTrain([]Job{FIFOJob("x", nil, 1, 68)}, FairShare{}, Options{Machine: m}); err == nil {
+		t.Error("job with nil graph accepted")
+	}
+	if _, err := NewArbiter("nope"); err == nil {
+		t.Error("unknown arbiter name accepted")
+	}
+}

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"opsched/internal/graph"
 )
@@ -33,6 +34,25 @@ const (
 
 // Names lists the four workloads in the paper's order.
 func Names() []string { return []string{ResNet50, DCGAN, InceptionV3, LSTM} }
+
+// Resolve maps a user-typed workload name to its canonical spelling,
+// accepting the paper's names case-insensitively with punctuation dropped
+// ("resnet", "resnet-50", "inceptionv3", "LSTM", ...).
+func Resolve(name string) (string, error) {
+	key := strings.ToLower(strings.NewReplacer("-", "", "_", "", " ", "").Replace(name))
+	switch key {
+	case "resnet", "resnet50":
+		return ResNet50, nil
+	case "dcgan":
+		return DCGAN, nil
+	case "inception", "inceptionv3":
+		return InceptionV3, nil
+	case "lstm":
+		return LSTM, nil
+	default:
+		return "", fmt.Errorf("nn: unknown model %q (have %v)", name, Names())
+	}
+}
 
 // Build constructs the named workload with its paper batch size
 // (ResNet-50: 64, DCGAN: 64, Inception-v3: 16, LSTM: 20).

@@ -213,3 +213,22 @@ func TestBatchScalesCost(t *testing.T) {
 		t.Errorf("total work did not grow with batch: %v vs %v", wl, ws)
 	}
 }
+
+// TestResolve: user-typed spellings map to the canonical workload names and
+// unknown names are rejected.
+func TestResolve(t *testing.T) {
+	cases := map[string]string{
+		"resnet": ResNet50, "ResNet-50": ResNet50, "resnet50": ResNet50,
+		"dcgan": DCGAN, "inception": InceptionV3, "Inception-v3": InceptionV3,
+		"lstm": LSTM, "LSTM": LSTM,
+	}
+	for in, want := range cases {
+		got, err := Resolve(in)
+		if err != nil || got != want {
+			t.Errorf("Resolve(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := Resolve("vgg"); err == nil {
+		t.Error("unknown model name accepted")
+	}
+}

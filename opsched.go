@@ -36,6 +36,7 @@ import (
 	"opsched/internal/exec"
 	"opsched/internal/experiments"
 	"opsched/internal/hw"
+	"opsched/internal/multijob"
 	"opsched/internal/nn"
 	"opsched/internal/perfmodel"
 	"opsched/internal/sweep"
@@ -173,3 +174,83 @@ func FIFOSweepPolicy(name string, interOp, intraOp int) SweepPolicy {
 // hits and misses — repeated sweeps over the same (machine, graph) reuse
 // profiles instead of re-running ProfileGraph.
 func ProfileCacheStats() (hits, misses int) { return perfmodel.CacheStats() }
+
+// CoTrainResult is the outcome of co-scheduling several training jobs on
+// one machine: per-job makespan, slowdown versus running solo, and a Jain
+// fairness index over solo-normalized progress.
+type CoTrainResult = multijob.Result
+
+// CoJobResult is one job's outcome inside a CoTrainResult.
+type CoJobResult = multijob.JobResult
+
+// CoJob is one workload entering a co-scheduled run (see multijob.Job).
+type CoJob = multijob.Job
+
+// Arbiters lists the cross-job scheduling policies CoTrain accepts:
+// "fair" (weighted core shares, least-progressed job claims first),
+// "priority" (strict priority, earlier jobs outrank later ones) and
+// "srwf" (shortest predicted remaining work first).
+func Arbiters() []string { return multijob.Arbiters() }
+
+// ResolveModel maps a user-typed workload name ("resnet", "lstm", ...) to
+// its canonical spelling.
+func ResolveModel(name string) (string, error) { return nn.Resolve(name) }
+
+// CoTrain co-schedules one training step of every named workload on one
+// machine (nil means NewKNL) under the given arbiter policy, each job
+// driven by its own runtime instance under cfg. Earlier models get higher
+// strict-priority rank. Names accept the short spellings of ResolveModel.
+func CoTrain(models []string, m *Machine, cfg Config, arbiter string) (*CoTrainResult, error) {
+	if m == nil {
+		m = hw.NewKNL()
+	}
+	arb, err := multijob.NewArbiter(arbiter)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]CoJob, len(models))
+	for i, name := range models {
+		canonical, err := nn.Resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		model, err := nn.Build(canonical)
+		if err != nil {
+			return nil, err
+		}
+		job, err := multijob.RuntimeJob(model.Name, model.Graph, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		job.Priority = len(models) - i
+		jobs[i] = job
+	}
+	return multijob.CoTrain(jobs, arb, multijob.Options{Machine: m})
+}
+
+// RunCoJobs co-schedules caller-assembled jobs (custom graphs, schedulers,
+// weights and priorities) under the named arbiter.
+func RunCoJobs(jobs []CoJob, m *Machine, arbiter string) (*CoTrainResult, error) {
+	arb, err := multijob.NewArbiter(arbiter)
+	if err != nil {
+		return nil, err
+	}
+	return multijob.CoTrain(jobs, arb, multijob.Options{Machine: m})
+}
+
+// JobMix is one co-scheduled workload mix in a job sweep.
+type JobMix = sweep.JobMix
+
+// JobSweepGrid is a job-mix × arbiter-policy × machine sweep specification.
+type JobSweepGrid = sweep.JobGrid
+
+// JobSweepCell is the outcome of one job-mix grid point.
+type JobSweepCell = sweep.JobCell
+
+// RunJobSweep evaluates a job-mix × arbiter × machine grid across up to
+// parallelism worker goroutines, returning cells in the grid's
+// deterministic enumeration order (see JobSweepGrid.Cells). Rendered
+// reports are byte-identical whatever the parallelism.
+func RunJobSweep(ctx context.Context, g JobSweepGrid, parallelism int) ([]JobSweepCell, error) {
+	return sweep.RunJobGrid(ctx, g, parallelism)
+}

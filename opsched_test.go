@@ -1,6 +1,7 @@
 package opsched
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -80,5 +81,58 @@ func TestStrategyPresets(t *testing.T) {
 	}
 	if c := AllStrategies(); !c.Strategy4 {
 		t.Errorf("AllStrategies = %+v", c)
+	}
+}
+
+// TestFacadeCoTrain drives the multi-job surface end to end: short model
+// names resolve, every arbiter runs the mix, slowdowns stay >= 1, and the
+// job sweep renders byte-identical reports at any parallelism.
+func TestFacadeCoTrain(t *testing.T) {
+	m := NewKNL()
+	for _, arb := range Arbiters() {
+		res, err := CoTrain([]string{"dcgan", "lstm"}, m, AllStrategies(), arb)
+		if err != nil {
+			t.Fatalf("%s: %v", arb, err)
+		}
+		if len(res.Jobs) != 2 {
+			t.Fatalf("%s: %d jobs, want 2", arb, len(res.Jobs))
+		}
+		for _, j := range res.Jobs {
+			if j.Slowdown < 1-1e-9 {
+				t.Errorf("%s: job %s slowdown %.4f < 1", arb, j.Name, j.Slowdown)
+			}
+		}
+	}
+	if _, err := CoTrain([]string{"vgg"}, m, AllStrategies(), "fair"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := CoTrain([]string{"lstm"}, m, AllStrategies(), "nope"); err == nil {
+		t.Error("unknown arbiter accepted")
+	}
+
+	grid := JobSweepGrid{Mixes: []JobMix{{Models: []string{DCGAN, LSTM}}}, Arbiters: []string{"srwf"}}
+	serial, err := RunJobSweep(context.Background(), grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunJobSweep(context.Background(), grid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial[0].Result.Render(), parallel[0].Result.Render(); s != p {
+		t.Errorf("sweep reports differ between parallelism levels:\n%s\nvs\n%s", s, p)
+	}
+
+	lstm := MustBuild(LSTM)
+	rt := NewRuntime(m, AllStrategies())
+	if err := rt.Profile(lstm.Graph); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCoJobs([]CoJob{{Name: "solo", Graph: lstm.Graph, Sched: rt}}, m, "fair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Slowdown != 1 {
+		t.Errorf("single-job co-run slowdown %.4f, want exactly 1", res.Jobs[0].Slowdown)
 	}
 }
