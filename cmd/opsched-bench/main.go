@@ -16,6 +16,10 @@
 //	opsched-bench -jobs "resnet,lstm;inception,dcgan" -arbiter all
 //	                              # mix × arbiter grid through the sweep pool
 //
+//	opsched-bench -cluster 6                        # place a 6-job stream
+//	opsched-bench -cluster 8 -policy binpack -nodes 2,4
+//	                              # workload × policy × size grid
+//
 // Reports print to stdout in request order and are byte-identical whatever
 // -parallel is; per-experiment wall-clock timings go to stderr (or into the
 // -json payload), so piping stdout to a file yields a stable artifact.
@@ -29,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -76,13 +81,54 @@ type jsonJobsOutput struct {
 	Cells       []jsonJobCell `json:"cells"`
 }
 
+type jsonPlacedJob struct {
+	Name     string  `json:"name"`
+	Model    string  `json:"model"`
+	Node     int     `json:"node"`
+	Wave     int     `json:"wave"`
+	QueueMs  float64 `json:"queue_ms"`
+	CorunMs  float64 `json:"corun_ms"`
+	JctMs    float64 `json:"jct_ms"`
+	Slowdown float64 `json:"slowdown"`
+}
+
+type jsonClusterCell struct {
+	Workload       string          `json:"workload"`
+	Policy         string          `json:"policy"`
+	Nodes          int             `json:"nodes"`
+	Report         string          `json:"report"`
+	MakespanMs     float64         `json:"makespan_ms"`
+	MeanJctMs      float64         `json:"mean_jct_ms"`
+	MeanQueueMs    float64         `json:"mean_queue_ms"`
+	Fairness       float64         `json:"fairness"`
+	DeadlinesMet   int             `json:"deadlines_met"`
+	DeadlinesTotal int             `json:"deadlines_total"`
+	Jobs           []jsonPlacedJob `json:"jobs"`
+	ElapsedMs      float64         `json:"elapsed_ms"`
+}
+
+type jsonClusterOutput struct {
+	Machine     string            `json:"machine"`
+	Parallel    int               `json:"parallel"`
+	TotalMs     float64           `json:"total_ms"`
+	CacheHits   int               `json:"profile_cache_hits"`
+	CacheMisses int               `json:"profile_cache_misses"`
+	Cells       []jsonClusterCell `json:"cells"`
+}
+
 func main() {
 	exp := flag.String("exp", "", "experiments to run, comma-separated (empty = all); see -list")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent experiments (<=0 means GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit reports as JSON with per-experiment timings")
 	jobs := flag.String("jobs", "", `co-schedule mode: model mixes as comma-separated names, semicolon-separated mixes (e.g. "resnet,lstm;inception,dcgan")`)
-	arbiter := flag.String("arbiter", "all", `cross-job arbiters for -jobs: comma-separated from fair, priority, srwf; "all" means every policy`)
+	arbiter := flag.String("arbiter", "all", `cross-job arbiters for -jobs: comma-separated from fair, priority, srwf; "all" means every policy. -cluster mode uses one arbiter per node ("all" means fair)`)
+	clusterN := flag.Int("cluster", 0, "cluster mode: place a synthetic workload of this many jobs onto a cluster (0 = off)")
+	policy := flag.String("policy", "all", `placement policies for -cluster: comma-separated from binpack, spread, model-aware; "all" means every policy`)
+	nodesSpec := flag.String("nodes", "1,2,4", "cluster sizes for -cluster, comma-separated node counts")
+	models := flag.String("models", "lstm,dcgan", "models the -cluster synthetic workload cycles through, comma-separated")
+	seed := flag.Uint64("seed", 1, "seed of the -cluster synthetic workload")
+	gapMs := flag.Float64("gap", 2, "mean inter-arrival gap of the -cluster synthetic workload, in ms")
 	flag.Parse()
 
 	if *list {
@@ -92,6 +138,15 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *clusterN < 0 {
+		fmt.Fprintf(os.Stderr, "opsched-bench: -cluster must be positive, got %d\n", *clusterN)
+		os.Exit(1)
+	}
+	if *clusterN > 0 {
+		runCluster(ctx, *clusterN, *policy, *nodesSpec, *models, *arbiter, *seed, *gapMs, *parallel, *jsonOut)
+		return
+	}
 
 	if *jobs != "" {
 		runJobs(ctx, *jobs, *arbiter, *parallel, *jsonOut)
@@ -213,6 +268,124 @@ func runJobs(ctx context.Context, jobsSpec, arbiterSpec string, parallel int, js
 	}
 	fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
 	os.Exit(1)
+}
+
+// runCluster is the -cluster mode: a synthetic workload placed under every
+// requested policy at every requested cluster size, through the sweep pool.
+// Same determinism contract as the other modes — stdout is byte-identical
+// at any -parallel, timings go to stderr or the JSON payload.
+func runCluster(ctx context.Context, n int, policySpec, nodesSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, parallel int, jsonOut bool) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	var modelNames []string
+	for _, name := range strings.Split(modelsSpec, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			modelNames = append(modelNames, name)
+		}
+	}
+	if len(modelNames) == 0 {
+		fail(fmt.Errorf("-models %q names no models", modelsSpec))
+	}
+	workload, err := opsched.SyntheticWorkload(n, seed, modelNames, gapMs*1e6)
+	if err != nil {
+		fail(err)
+	}
+
+	policies := opsched.PlacementPolicies()
+	if s := strings.TrimSpace(policySpec); s != "" && s != "all" {
+		policies = policies[:0]
+		for _, p := range strings.Split(s, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				policies = append(policies, p)
+			}
+		}
+	}
+
+	var sizes []int
+	for _, s := range strings.Split(nodesSpec, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		size, err := strconv.Atoi(s)
+		if err != nil {
+			fail(fmt.Errorf("-nodes %q: %w", nodesSpec, err))
+		}
+		sizes = append(sizes, size)
+	}
+	if len(sizes) == 0 {
+		fail(fmt.Errorf("-nodes %q names no cluster sizes", nodesSpec))
+	}
+
+	arb := strings.TrimSpace(arbiterSpec)
+	if arb == "all" {
+		arb = "fair"
+	}
+
+	grid := opsched.ClusterSweepGrid{
+		Workloads: []opsched.NamedWorkload{{Name: fmt.Sprintf("synthetic%d", n), Jobs: workload}},
+		Policies:  policies,
+		Sizes:     sizes,
+		Arbiter:   arb,
+	}
+	start := time.Now()
+	cells, err := opsched.RunClusterSweep(ctx, grid, parallel)
+	if err != nil {
+		fail(err)
+	}
+	emitClusterCells(cells, time.Since(start), parallel, jsonOut)
+}
+
+func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, parallel int, jsonOut bool) {
+	hits, misses := opsched.ProfileCacheStats()
+	if jsonOut {
+		out := jsonClusterOutput{
+			Machine:     opsched.NewKNL().String(),
+			Parallel:    parallel,
+			TotalMs:     float64(total.Microseconds()) / 1e3,
+			CacheHits:   hits,
+			CacheMisses: misses,
+		}
+		for _, c := range cells {
+			jc := jsonClusterCell{
+				Workload: c.Workload, Policy: c.Policy, Nodes: c.Nodes,
+				Report:         c.Result.Render(),
+				MakespanMs:     c.Result.MakespanNs / 1e6,
+				MeanJctMs:      c.Result.MeanJCTNs / 1e6,
+				MeanQueueMs:    c.Result.MeanQueueNs / 1e6,
+				Fairness:       c.Result.FairnessIndex,
+				DeadlinesMet:   c.Result.DeadlinesMet,
+				DeadlinesTotal: c.Result.DeadlinesTotal,
+				ElapsedMs:      float64(c.Elapsed.Microseconds()) / 1e3,
+			}
+			for _, j := range c.Result.Jobs {
+				jc.Jobs = append(jc.Jobs, jsonPlacedJob{
+					Name: j.Name, Model: j.Model, Node: j.Node, Wave: j.Wave,
+					QueueMs: j.QueueNs / 1e6, CorunMs: j.CoRunNs / 1e6,
+					JctMs: j.JCTNs() / 1e6, Slowdown: j.Slowdown,
+				})
+			}
+			out.Cells = append(out.Cells, jc)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("machine: %v\n\n", opsched.NewKNL())
+	for _, c := range cells {
+		label := fmt.Sprintf("%s / %s / n=%d", c.Workload, c.Policy, c.Nodes)
+		fmt.Printf("=== %s ===\n%s\n", label, c.Result.Render())
+		fmt.Fprintf(os.Stderr, "opsched-bench: %-35s %.2fs\n", label, c.Elapsed.Seconds())
+	}
+	fmt.Fprintf(os.Stderr, "opsched-bench: total %.2fs, parallel=%d, profile cache %d hits / %d misses\n",
+		total.Seconds(), parallel, hits, misses)
 }
 
 func emitJobCells(cells []opsched.JobSweepCell, total time.Duration, parallel int, jsonOut bool) {

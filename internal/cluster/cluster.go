@@ -41,6 +41,17 @@ func NewAries() *Interconnect {
 	return &Interconnect{BWBytesNs: 10, LatencyNs: 1500}
 }
 
+// TransferNs estimates a one-way point-to-point transfer of payload bytes
+// between two nodes — the cost of staging a job's parameters on the node a
+// placement engine assigns it to. Non-positive payloads still pay the
+// message latency.
+func (ic *Interconnect) TransferNs(payloadBytes float64) float64 {
+	if payloadBytes <= 0 {
+		return ic.LatencyNs
+	}
+	return ic.LatencyNs + payloadBytes/ic.BWBytesNs
+}
+
 // AllReduceNs estimates a ring allreduce of payload bytes over n nodes:
 // 2(n-1)/n payload transfers plus 2(n-1) latency hops.
 func (ic *Interconnect) AllReduceNs(payloadBytes float64, n int) float64 {
@@ -110,6 +121,11 @@ func DataParallel(buildAt func(batch int) *nn.Model, globalBatch, n int, m *hw.M
 		ScalingEff: eff, SingleNodeNs: ref.StepTimeNs,
 	}, nil
 }
+
+// ParamBytes sums the parameter-tensor sizes receiving optimizer updates —
+// the data-parallel allreduce payload, and the payload a placement engine
+// ships to a node before the job can start there.
+func ParamBytes(g *graph.Graph) float64 { return gradientBytes(g) }
 
 // gradientBytes sums the parameter-tensor sizes receiving optimizer
 // updates — the allreduce payload.

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAllReduceProperties pins the allreduce cost model's invariants under
+// seeded random inputs: no communication for a single node (or fewer), a
+// cost that is non-negative and monotone in the payload at any node count,
+// and monotone in the node count for a fixed payload (a bigger ring pays
+// more latency hops and a larger transfer fraction).
+func TestAllReduceProperties(t *testing.T) {
+	ic := NewAries()
+	rng := rand.New(rand.NewSource(42))
+
+	zeroBelowTwo := func(payload uint32, n int8) bool {
+		nodes := int(n)
+		if nodes > 1 {
+			nodes = 1 - nodes // fold positives into <= 1, negatives stay
+		}
+		return ic.AllReduceNs(float64(payload), nodes) == 0
+	}
+	if err := quick.Check(zeroBelowTwo, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+
+	monotonePayload := func(p1, p2 uint32, n uint8) bool {
+		nodes := 2 + int(n)%31
+		lo, hi := float64(p1), float64(p2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a, b := ic.AllReduceNs(lo, nodes), ic.AllReduceNs(hi, nodes)
+		return a >= 0 && a <= b
+	}
+	if err := quick.Check(monotonePayload, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+
+	monotoneNodes := func(payload uint32, n uint8) bool {
+		nodes := 2 + int(n)%31
+		return ic.AllReduceNs(float64(payload), nodes) <= ic.AllReduceNs(float64(payload), nodes+1)
+	}
+	if err := quick.Check(monotoneNodes, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+
+	// TransferNs: staging cost is at least the latency and monotone in the
+	// payload.
+	transfer := func(p1, p2 uint32) bool {
+		lo, hi := float64(p1), float64(p2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a, b := ic.TransferNs(lo), ic.TransferNs(hi)
+		return a >= ic.LatencyNs && a <= b
+	}
+	if err := quick.Check(transfer, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,50 +1,70 @@
 package exec
 
 import (
+	"strings"
 	"testing"
 
 	"opsched/internal/graph"
 	"opsched/internal/hw"
 )
 
-// TestValidateRejectsNonPositiveThreads: zero or negative intra-op
-// parallelism is never a legal launch.
-func TestValidateRejectsNonPositiveThreads(t *testing.T) {
+// TestValidateErrorTable covers every rejection path of Decision.Validate
+// with the message each one must carry: schedulers debug through these
+// strings, so each names the offending field.
+func TestValidateErrorTable(t *testing.T) {
 	m := hw.NewKNL()
-	g := chain(2)
-	st := &State{Machine: m, Graph: g, Ready: []graph.NodeID{0}}
-	for _, threads := range []int{0, -3} {
-		d := Decision{Node: 0, Threads: threads, Placement: hw.Shared}
-		if err := d.Validate(st); err == nil {
-			t.Errorf("decision with %d threads accepted", threads)
-		}
+	g := chain(3)
+	hosted := []*Running{{Node: 0, Threads: m.Cores, Placement: hw.Shared}}
+	cases := []struct {
+		name    string
+		d       Decision
+		running []*Running
+		ready   []graph.NodeID
+		want    string
+	}{
+		{"zero threads",
+			Decision{Node: 1, Threads: 0, Placement: hw.Shared}, nil, []graph.NodeID{1},
+			"has 0 threads"},
+		{"negative threads",
+			Decision{Node: 1, Threads: -3, Placement: hw.Shared}, nil, []graph.NodeID{1},
+			"has -3 threads"},
+		{"invalid placement",
+			Decision{Node: 1, Threads: 4, Placement: hw.Placement(9)}, nil, []graph.NodeID{1},
+			"invalid placement"},
+		{"pinned wider than the machine",
+			Decision{Node: 1, Threads: m.Cores + 1, Placement: hw.Shared, Pinned: true}, nil, []graph.NodeID{1},
+			"pinned decision"},
+		{"HT without a host",
+			Decision{Node: 1, Threads: 4, Placement: hw.Spread, HT: true}, nil, []graph.NodeID{1},
+			"no running host"},
+		{"HT with only HT guests running",
+			Decision{Node: 1, Threads: 4, Placement: hw.Spread, HT: true},
+			[]*Running{{Node: 0, Threads: 4, Placement: hw.Spread, HT: true}}, []graph.NodeID{1},
+			"no running host"},
+		{"node not ready",
+			Decision{Node: 2, Threads: 4, Placement: hw.Shared}, hosted, []graph.NodeID{1},
+			"not ready"},
 	}
-}
-
-// TestValidateRejectsHTWithoutHost: a hyper-threading co-run rides the
-// second hardware thread of cores a running operation occupies; with no
-// non-HT operation in flight there is no host to ride.
-func TestValidateRejectsHTWithoutHost(t *testing.T) {
-	m := hw.NewKNL()
-	g := chain(2)
-	d := Decision{Node: 1, Threads: 4, Placement: hw.Spread, HT: true}
-
-	empty := &State{Machine: m, Graph: g, Ready: []graph.NodeID{1}}
-	if err := d.Validate(empty); err == nil {
-		t.Error("HT decision with nothing running accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := &State{Machine: m, Graph: g, Ready: tc.ready, Running: tc.running}
+			err := tc.d.Validate(st)
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
-
-	// Other HT guests are not hosts either.
-	guestsOnly := &State{Machine: m, Graph: g, Ready: []graph.NodeID{1},
-		Running: []*Running{{Node: 0, Threads: 4, Placement: hw.Spread, HT: true}}}
-	if err := d.Validate(guestsOnly); err == nil {
-		t.Error("HT decision with only HT guests running accepted")
+	// The happy paths stay accepted: a plain decision for a ready node,
+	// and an HT decision once a non-HT host is in flight.
+	ok := Decision{Node: 1, Threads: 4, Placement: hw.Shared}
+	if err := ok.Validate(&State{Machine: m, Graph: g, Ready: []graph.NodeID{1}}); err != nil {
+		t.Errorf("valid decision rejected: %v", err)
 	}
-
-	// A non-HT operation in flight makes the same decision legal.
-	hosted := &State{Machine: m, Graph: g, Ready: []graph.NodeID{1},
-		Running: []*Running{{Node: 0, Threads: m.Cores, Placement: hw.Shared}}}
-	if err := d.Validate(hosted); err != nil {
+	ht := Decision{Node: 1, Threads: 4, Placement: hw.Spread, HT: true}
+	if err := ht.Validate(&State{Machine: m, Graph: g, Ready: []graph.NodeID{1}, Running: hosted}); err != nil {
 		t.Errorf("HT decision with a running host rejected: %v", err)
 	}
 }

@@ -306,6 +306,20 @@ func (e *engine) harvest(r *exec.Running) {
 	}
 }
 
+// PredictedSoloWorkNs prices graph g's total predicted solo execution time
+// on m at the given hill-climb interval (<= 0 means the default): the sum,
+// over every operation, of the perfmodel-tuned configuration's predicted
+// time. It is the work metric cluster placement policies rank nodes by;
+// profiles come from the process-wide perfmodel cache, so placement shares
+// them with the jobs' own runtimes and with the SRWF arbiter.
+func PredictedSoloWorkNs(m *hw.Machine, g *graph.Graph, interval int) float64 {
+	total := 0.0
+	for _, w := range predictedWork(m, g, interval) {
+		total += w
+	}
+	return total
+}
+
 // predictedWork prices every node of g at its perfmodel-tuned
 // configuration's predicted time (the machine-model baseline width when the
 // profile lacks the class), indexed by NodeID. This is the work metric the

@@ -1,0 +1,110 @@
+package multijob
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"opsched/internal/graph"
+	"opsched/internal/hw"
+	"opsched/internal/op"
+)
+
+// TestJainIndexProperty: Jain's fairness index stays in (0,1] for any
+// non-empty set of positive allocations, and hits exactly 1 when every
+// allocation is equal — the bounds every fairness report relies on.
+func TestJainIndexProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bounded := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			xs = append(xs, 1+float64(r)) // strictly positive
+		}
+		j := jainIndex(xs)
+		if len(xs) == 0 {
+			return j == 1
+		}
+		return j > 0 && j <= 1+1e-12
+	}
+	if err := quick.Check(bounded, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+	equal := func(x uint16, n uint8) bool {
+		xs := make([]float64, 1+int(n)%16)
+		for i := range xs {
+			xs[i] = 1 + float64(x)
+		}
+		j := jainIndex(xs)
+		return j > 1-1e-12 && j < 1+1e-12
+	}
+	if err := quick.Check(equal, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomGraph builds a small random fork-join dataflow graph: a chain of
+// convolution stages, each stage fanning out over 1-3 parallel operations.
+func randomGraph(rng *rand.Rand, name string) *graph.Graph {
+	g := graph.New(name)
+	stages := 2 + rng.Intn(3)
+	var prev []graph.NodeID
+	for s := 0; s < stages; s++ {
+		width := 1 + rng.Intn(3)
+		var stage []graph.NodeID
+		for k := 0; k < width; k++ {
+			o := op.Conv(op.Conv2D, 16+rng.Intn(17), 8, 8, 64+32*rng.Intn(3), 3, 128, 1)
+			stage = append(stage, g.Add(o, fmt.Sprintf("s%d_%d", s, k), prev...))
+		}
+		prev = stage
+	}
+	return g
+}
+
+// TestCoTrainSlowdownProperty is the scheduling-core invariant under
+// seeded random inputs: for random job sets (random small graphs, random
+// FIFO configurations, random weights) under every arbiter, every co-run
+// job reports slowdown >= 1 — sharing a machine never beats running alone
+// — and the fairness index stays in (0,1].
+func TestCoTrainSlowdownProperty(t *testing.T) {
+	m := hw.NewKNL()
+	prop := func(seed int64, arbIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arbName := Arbiters()[int(arbIdx)%len(Arbiters())]
+		arb, err := NewArbiter(arbName)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		nJobs := 2 + rng.Intn(2)
+		jobs := make([]Job, nJobs)
+		for i := range jobs {
+			j := FIFOJob(fmt.Sprintf("j%d", i), randomGraph(rng, fmt.Sprintf("g%d", i)),
+				1+rng.Intn(2), 8+rng.Intn(61))
+			j.Weight = 0.5 + rng.Float64()*2
+			j.Priority = rng.Intn(3)
+			jobs[i] = j
+		}
+		res, err := CoTrain(jobs, arb, Options{Machine: m})
+		if err != nil {
+			t.Logf("seed=%d arbiter=%s: %v", seed, arbName, err)
+			return false
+		}
+		for _, jr := range res.Jobs {
+			if jr.SoloNs <= 0 || jr.Slowdown < 1-1e-9 {
+				t.Logf("seed=%d arbiter=%s: job %s solo %.0fns corun %.0fns slowdown %.4f",
+					seed, arbName, jr.Name, jr.SoloNs, jr.MakespanNs, jr.Slowdown)
+				return false
+			}
+		}
+		if res.FairnessIndex <= 0 || res.FairnessIndex > 1+1e-12 {
+			t.Logf("seed=%d arbiter=%s: fairness %v outside (0,1]", seed, arbName, res.FairnessIndex)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"opsched/internal/cluster"
+	"opsched/internal/graph"
+	"opsched/internal/hw"
+	"opsched/internal/multijob"
+	"opsched/internal/nn"
+)
+
+// nodeState is one node's mutable bookkeeping inside the event loop.
+type nodeState struct {
+	freeNs   float64 // when the in-flight wave completes
+	resident int     // jobs in the in-flight wave
+	queue    []int   // workload indices staged behind it, placement order
+	waves    int
+	jobs     int
+	busyNs   float64
+}
+
+// modelInfo caches the per-model quantities the engine reuses across jobs:
+// the built graph, its perfmodel-predicted solo work, and the parameter
+// staging transfer over the interconnect.
+type modelInfo struct {
+	graph  *graph.Graph
+	workNs float64
+	xferNs float64
+}
+
+// PlaceJobs admits the workload onto the cluster under the given options
+// and runs it to completion on one virtual cluster clock. Arrivals are
+// processed in (arrival time, input index) order; each arrival is placed by
+// the policy against the cluster's current state. A node that becomes free
+// gang-schedules its staged jobs — at most one per physical core — into a
+// co-run wave through multijob.CoTrain; the wave's per-job makespans land
+// back on the cluster clock. Execution is fully deterministic.
+func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	pol, err := NewPolicy(opts.policy())
+	if err != nil {
+		return nil, err
+	}
+	arb, err := multijob.NewArbiter(opts.arbiter())
+	if err != nil {
+		return nil, fmt.Errorf("place: %w", err)
+	}
+	cfg := opts.config()
+	m := c.machine()
+	ic := c.interconnect()
+
+	// Canonicalize the specs: resolved model spelling, defaulted names.
+	specs := make([]JobSpec, len(w))
+	for i, j := range w {
+		j.Model, _ = nn.Resolve(j.Model) // Validate already vetted it
+		j.Name = j.label(i)
+		specs[i] = j
+	}
+
+	infos := make(map[string]*modelInfo)
+	info := func(model string) *modelInfo {
+		if mi, ok := infos[model]; ok {
+			return mi
+		}
+		built := nn.MustBuild(model)
+		mi := &modelInfo{
+			graph:  built.Graph,
+			workNs: multijob.PredictedSoloWorkNs(m, built.Graph, cfg.Interval),
+			xferNs: ic.TransferNs(cluster.ParamBytes(built.Graph)),
+		}
+		infos[model] = mi
+		return mi
+	}
+
+	// Arrival order: by time, input index breaking ties.
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return specs[order[a]].ArrivalNs < specs[order[b]].ArrivalNs
+	})
+
+	nodes := make([]*nodeState, c.Nodes)
+	for i := range nodes {
+		nodes[i] = &nodeState{}
+	}
+	placed := make([]PlacedJob, len(specs))
+	next := 0 // next arrival, as an index into order
+	done := 0
+
+	for done < len(specs) {
+		// Earliest wave start among nodes with staged jobs: a wave starts
+		// when the node is free and its earliest-staged job has arrived.
+		waveNode := -1
+		waveStart := math.Inf(1)
+		for i, ns := range nodes {
+			if len(ns.queue) == 0 {
+				continue
+			}
+			ready := math.Inf(1)
+			for _, ji := range ns.queue {
+				if placed[ji].ReadyNs < ready {
+					ready = placed[ji].ReadyNs
+				}
+			}
+			t := ns.freeNs
+			if ready > t {
+				t = ready
+			}
+			if t < waveStart {
+				waveNode, waveStart = i, t
+			}
+		}
+
+		// Arrivals strictly before — and exactly at — the next wave start
+		// are placed first, so a job arriving as a node frees can still
+		// influence (or join) the node's next wave.
+		if next < len(order) {
+			ji := order[next]
+			if at := specs[ji].ArrivalNs; waveNode < 0 || at <= waveStart {
+				next++
+				sp := specs[ji]
+				mi := info(sp.Model)
+				n := pol.Pick(sp, mi.workNs, at, views(nodes, specs, placed, info, m, at))
+				if n < 0 || n >= len(nodes) {
+					return nil, fmt.Errorf("place: policy %q placed job %s on node %d of a %d-node cluster",
+						pol.Name(), sp.Name, n, len(nodes))
+				}
+				placed[ji] = PlacedJob{
+					Name: sp.Name, Model: sp.Model, Node: n,
+					ArrivalNs: at, TransferNs: mi.xferNs, ReadyNs: at + mi.xferNs,
+					DeadlineNs: sp.DeadlineNs,
+				}
+				nodes[n].queue = append(nodes[n].queue, ji)
+				continue
+			}
+		}
+		if waveNode < 0 {
+			return nil, fmt.Errorf("place: stalled with %d of %d jobs done and no runnable wave", done, len(specs))
+		}
+
+		// Launch the wave: staged-and-ready jobs in placement order, at
+		// most one per physical core.
+		ns := nodes[waveNode]
+		var admit, rest []int
+		for _, ji := range ns.queue {
+			if len(admit) < m.Cores && placed[ji].ReadyNs <= waveStart {
+				admit = append(admit, ji)
+			} else {
+				rest = append(rest, ji)
+			}
+		}
+		jobs := make([]multijob.Job, len(admit))
+		for k, ji := range admit {
+			sp := specs[ji]
+			job, err := multijob.RuntimeJob(sp.Name, info(sp.Model).graph, m, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("place: job %s: %w", sp.Name, err)
+			}
+			job.Priority = sp.Priority
+			job.Weight = sp.Weight
+			jobs[k] = job
+		}
+		res, err := multijob.CoTrain(jobs, arb, multijob.Options{Machine: m})
+		if err != nil {
+			return nil, fmt.Errorf("place: wave %d on node %d: %w", ns.waves, waveNode, err)
+		}
+		for k, ji := range admit {
+			jr := res.Jobs[k]
+			p := &placed[ji]
+			p.Wave = ns.waves
+			p.StartNs = waveStart
+			p.QueueNs = waveStart - p.ArrivalNs
+			p.SoloNs = jr.SoloNs
+			p.CoRunNs = jr.MakespanNs
+			p.CoRunSlowdown = jr.Slowdown
+			p.FinishNs = waveStart + jr.MakespanNs
+			if p.SoloNs > 0 {
+				p.Slowdown = p.JCTNs() / p.SoloNs
+			}
+			p.DeadlineMet = p.DeadlineNs > 0 && p.FinishNs <= p.DeadlineNs
+		}
+		ns.queue = rest
+		ns.waves++
+		ns.jobs += len(admit)
+		ns.resident = len(admit)
+		ns.busyNs += res.TotalNs
+		ns.freeNs = waveStart + res.TotalNs
+		done += len(admit)
+	}
+
+	out := &Result{
+		Policy: pol.Name(), Arbiter: arb.Name(), Nodes: c.Nodes,
+		Machine: m.String(), Jobs: placed,
+	}
+	for i, ns := range nodes {
+		out.NodeStats = append(out.NodeStats, NodeStats{
+			Node: i, Jobs: ns.jobs, Waves: ns.waves, BusyNs: ns.busyNs,
+		})
+	}
+	out.finalize()
+	return out, nil
+}
+
+// views snapshots every node for a policy decision at nowNs.
+func views(nodes []*nodeState, specs []JobSpec, placed []PlacedJob,
+	info func(string) *modelInfo, m *hw.Machine, nowNs float64) []NodeView {
+	vs := make([]NodeView, len(nodes))
+	for i, ns := range nodes {
+		v := NodeView{Index: i, Cores: m.Cores, FreeNs: ns.freeNs, Queued: len(ns.queue)}
+		if ns.freeNs > nowNs {
+			v.Resident = ns.resident
+		}
+		for _, ji := range ns.queue {
+			v.QueuedWorkNs += info(specs[ji].Model).workNs
+		}
+		vs[i] = v
+	}
+	return vs
+}

@@ -1,0 +1,356 @@
+// Package place is the cluster-scale job placement engine: it admits a
+// workload of training jobs — each with an arrival time, a model, a
+// priority and an optional deadline — onto a cluster of identical
+// hw.Machine nodes connected by a cluster.Interconnect, and reports per-job
+// completion time, queueing delay and slowdown versus running alone, plus
+// cluster-wide makespan, utilization and fairness.
+//
+// The paper's §V argues (as unevaluated future work) that its runtime
+// scales across nodes; the multi-tenant DNN scheduling literature (Yu et
+// al., 2021; Gilman & Walls, 2021) treats a *stream* of jobs over *many*
+// nodes as the real deployment shape. This package composes four existing
+// subsystems into that scenario:
+//
+//   - a pluggable placement Policy (binpack, spread, or model-aware over
+//     perfmodel work predictions) picks a node for every arriving job;
+//   - each node runs its resident job set through the multijob engine —
+//     per-job runtime schedulers under a cross-job arbiter, contention
+//     priced over the union of in-flight operations;
+//   - the cluster.Interconnect prices the parameter transfer that stages a
+//     job on its node before it may start;
+//   - the whole simulation advances on one virtual cluster clock.
+//
+// Execution model: nodes gang-schedule in waves. A node that becomes free
+// gathers every staged job in its queue (up to one job per physical core —
+// each co-run job needs at least one core, so a wave never exceeds the
+// node's core capacity) and co-runs them to completion through
+// multijob.CoTrain; jobs arriving mid-wave wait for the next wave. Cluster
+// events — job arrivals and wave completions — are processed in virtual
+// time order with deterministic tie-breaking (arrivals first, then lower
+// node index), so identical inputs always produce byte-identical reports.
+package place
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"opsched/internal/cluster"
+	"opsched/internal/core"
+	"opsched/internal/hw"
+	"opsched/internal/nn"
+)
+
+// JobSpec is one job in the workload stream entering the cluster.
+type JobSpec struct {
+	// Name labels the job in results; empty means "<model>#<index>".
+	Name string
+	// Model is the workload to train — any spelling nn.Resolve accepts.
+	Model string
+	// ArrivalNs is the job's submission time on the cluster clock.
+	ArrivalNs float64
+	// Priority is the job's strict-priority rank inside a co-run wave
+	// (higher outranks lower under the priority arbiter).
+	Priority int
+	// Weight is the job's fair-share weight inside a wave; <= 0 means 1.
+	Weight float64
+	// DeadlineNs is an absolute completion deadline on the cluster clock;
+	// 0 means none. Deadlines are reported, not enforced.
+	DeadlineNs float64
+}
+
+func (j JobSpec) label(i int) string {
+	if j.Name != "" {
+		return j.Name
+	}
+	return fmt.Sprintf("%s#%d", j.Model, i)
+}
+
+// Workload is a stream of jobs submitted to the cluster.
+type Workload []JobSpec
+
+// Validate rejects workloads no placement engine could admit: empty
+// streams, negative or NaN arrival times, unknown models, and deadlines
+// that precede their job's arrival.
+func (w Workload) Validate() error {
+	if len(w) == 0 {
+		return fmt.Errorf("place: empty workload")
+	}
+	for i, j := range w {
+		if math.IsNaN(j.ArrivalNs) || math.IsInf(j.ArrivalNs, 0) {
+			return fmt.Errorf("place: job %d (%s) has non-finite arrival time %v", i, j.label(i), j.ArrivalNs)
+		}
+		if j.ArrivalNs < 0 {
+			return fmt.Errorf("place: job %d (%s) has negative arrival time %v", i, j.label(i), j.ArrivalNs)
+		}
+		if _, err := nn.Resolve(j.Model); err != nil {
+			return fmt.Errorf("place: job %d (%s): %w", i, j.label(i), err)
+		}
+		if math.IsNaN(j.DeadlineNs) || math.IsInf(j.DeadlineNs, 0) {
+			return fmt.Errorf("place: job %d (%s) has non-finite deadline %v", i, j.label(i), j.DeadlineNs)
+		}
+		if j.DeadlineNs < 0 {
+			return fmt.Errorf("place: job %d (%s) has negative deadline %v", i, j.label(i), j.DeadlineNs)
+		}
+		if j.DeadlineNs > 0 && j.DeadlineNs < j.ArrivalNs {
+			return fmt.Errorf("place: job %d (%s) has deadline %v before arrival %v",
+				i, j.label(i), j.DeadlineNs, j.ArrivalNs)
+		}
+	}
+	return nil
+}
+
+// Cluster describes the hardware the workload is placed onto: identical
+// nodes joined by an interconnect.
+type Cluster struct {
+	// Nodes is the number of nodes; must be positive.
+	Nodes int
+	// Machine is the per-node hardware model; nil means hw.NewKNL().
+	Machine *hw.Machine
+	// Interconnect joins the nodes; nil means cluster.NewAries().
+	Interconnect *cluster.Interconnect
+}
+
+// Validate rejects cluster descriptions with zero nodes, an inconsistent
+// machine model, or a degenerate interconnect.
+func (c Cluster) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("place: cluster needs at least one node, got %d", c.Nodes)
+	}
+	if c.Machine != nil {
+		if err := c.Machine.Validate(); err != nil {
+			return fmt.Errorf("place: node machine: %w", err)
+		}
+	}
+	if ic := c.Interconnect; ic != nil {
+		if ic.BWBytesNs <= 0 {
+			return fmt.Errorf("place: interconnect bandwidth must be positive, got %v", ic.BWBytesNs)
+		}
+		if ic.LatencyNs < 0 {
+			return fmt.Errorf("place: interconnect latency must be non-negative, got %v", ic.LatencyNs)
+		}
+	}
+	return nil
+}
+
+func (c Cluster) machine() *hw.Machine {
+	if c.Machine == nil {
+		return hw.NewKNL()
+	}
+	return c.Machine
+}
+
+func (c Cluster) interconnect() *cluster.Interconnect {
+	if c.Interconnect == nil {
+		return cluster.NewAries()
+	}
+	return c.Interconnect
+}
+
+// Options configure a placement run.
+type Options struct {
+	// Policy names the placement policy (see Policies); empty means
+	// "spread".
+	Policy string
+	// Arbiter names the per-node cross-job policy (multijob.Arbiters);
+	// empty means "fair".
+	Arbiter string
+	// Config is the per-job runtime configuration; nil means the full
+	// strategy set (core.AllStrategies).
+	Config *core.Config
+}
+
+func (o Options) policy() string {
+	if o.Policy == "" {
+		return Spread{}.Name()
+	}
+	return o.Policy
+}
+
+func (o Options) arbiter() string {
+	if o.Arbiter == "" {
+		return "fair"
+	}
+	return o.Arbiter
+}
+
+func (o Options) config() core.Config {
+	if o.Config == nil {
+		return core.AllStrategies()
+	}
+	return *o.Config
+}
+
+// PlacedJob is the outcome of one job in the placed workload.
+type PlacedJob struct {
+	// Name and Model identify the job.
+	Name  string
+	Model string
+	// Node is the node index the job was placed on; Wave is the 0-based
+	// ordinal of the co-run wave that executed it on that node.
+	Node int
+	Wave int
+	// ArrivalNs is the submission time; ReadyNs adds the parameter
+	// transfer that stages the job on its node.
+	ArrivalNs  float64
+	ReadyNs    float64
+	TransferNs float64
+	// StartNs/FinishNs bound the job's co-run wave execution on the
+	// cluster clock.
+	StartNs  float64
+	FinishNs float64
+	// QueueNs is the queueing delay StartNs - ArrivalNs (staging transfer
+	// included).
+	QueueNs float64
+	// SoloNs is the job's makespan alone on one node; CoRunNs its makespan
+	// inside the wave.
+	SoloNs  float64
+	CoRunNs float64
+	// CoRunSlowdown is CoRunNs/SoloNs (contention only, >= 1); Slowdown is
+	// JCTNs()/SoloNs (queueing included, >= CoRunSlowdown).
+	CoRunSlowdown float64
+	Slowdown      float64
+	// DeadlineNs echoes the spec; DeadlineMet reports FinishNs <=
+	// DeadlineNs for jobs that have one (false when DeadlineNs is 0).
+	DeadlineNs  float64
+	DeadlineMet bool
+}
+
+// JCTNs is the job completion time: finish minus arrival.
+func (p PlacedJob) JCTNs() float64 { return p.FinishNs - p.ArrivalNs }
+
+// NodeStats summarizes one node's share of the run.
+type NodeStats struct {
+	// Node is the node index.
+	Node int
+	// Jobs and Waves count the jobs executed and the co-run waves that
+	// executed them.
+	Jobs  int
+	Waves int
+	// BusyNs is the total wave execution time; Utilization is
+	// BusyNs / cluster makespan (0 when the makespan is 0).
+	BusyNs      float64
+	Utilization float64
+}
+
+// Result is the outcome of placing a workload onto a cluster.
+type Result struct {
+	// Policy, Arbiter, Nodes and Machine name the configuration.
+	Policy  string
+	Arbiter string
+	Nodes   int
+	Machine string
+	// MakespanNs is the last job's finish time on the cluster clock.
+	MakespanNs float64
+	// MeanJCTNs, MaxJCTNs and MeanQueueNs aggregate the per-job outcomes.
+	MeanJCTNs   float64
+	MaxJCTNs    float64
+	MeanQueueNs float64
+	// FairnessIndex is Jain's index over each job's solo-normalized
+	// completion rate SoloNs/JCTNs: 1 when every job is slowed equally.
+	FairnessIndex float64
+	// DeadlinesMet / DeadlinesTotal count the jobs with deadlines that made
+	// them, out of all jobs that had one.
+	DeadlinesMet   int
+	DeadlinesTotal int
+	// Jobs holds per-job outcomes in workload (input) order.
+	Jobs []PlacedJob
+	// NodeStats holds per-node usage in node-index order.
+	NodeStats []NodeStats
+}
+
+// jainIndex is Jain's fairness index (sum x)^2 / (n * sum x^2).
+func jainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// finalize fills the aggregate metrics from the per-job outcomes.
+func (r *Result) finalize() {
+	var jctSum, queueSum float64
+	rates := make([]float64, 0, len(r.Jobs))
+	for _, p := range r.Jobs {
+		jct := p.JCTNs()
+		jctSum += jct
+		queueSum += p.QueueNs
+		if p.FinishNs > r.MakespanNs {
+			r.MakespanNs = p.FinishNs
+		}
+		if jct > r.MaxJCTNs {
+			r.MaxJCTNs = jct
+		}
+		if p.SoloNs > 0 && jct > 0 {
+			rates = append(rates, p.SoloNs/jct)
+		}
+		if p.DeadlineNs > 0 {
+			r.DeadlinesTotal++
+			if p.DeadlineMet {
+				r.DeadlinesMet++
+			}
+		}
+	}
+	if n := float64(len(r.Jobs)); n > 0 {
+		r.MeanJCTNs = jctSum / n
+		r.MeanQueueNs = queueSum / n
+	}
+	r.FairnessIndex = jainIndex(rates)
+	for i := range r.NodeStats {
+		if r.MakespanNs > 0 {
+			r.NodeStats[i].Utilization = r.NodeStats[i].BusyNs / r.MakespanNs
+		}
+	}
+}
+
+// Render formats the result as a deterministic report table: byte-identical
+// output for identical inputs, whatever parallelism produced the Result.
+func (r *Result) Render() string {
+	nameW, modelW := len("job"), len("model")
+	for _, p := range r.Jobs {
+		if len(p.Name) > nameW {
+			nameW = len(p.Name)
+		}
+		if len(p.Model) > modelW {
+			modelW = len(p.Model)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement: %d jobs over %d nodes, policy=%s, arbiter=%s, node=%s\n",
+		len(r.Jobs), r.Nodes, r.Policy, r.Arbiter, r.Machine)
+	fmt.Fprintf(&b, "  %-*s  %-*s  %4s  %4s  %10s  %10s  %10s  %10s  %8s  %8s\n",
+		nameW, "job", modelW, "model", "node", "wave",
+		"arrive(ms)", "queue(ms)", "corun(ms)", "jct(ms)", "slowdown", "deadline")
+	for _, p := range r.Jobs {
+		deadline := "-"
+		if p.DeadlineNs > 0 {
+			if p.DeadlineMet {
+				deadline = "met"
+			} else {
+				deadline = "MISS"
+			}
+		}
+		fmt.Fprintf(&b, "  %-*s  %-*s  %4d  %4d  %10.3f  %10.3f  %10.3f  %10.3f  %7.2fx  %8s\n",
+			nameW, p.Name, modelW, p.Model, p.Node, p.Wave,
+			p.ArrivalNs/1e6, p.QueueNs/1e6, p.CoRunNs/1e6, p.JCTNs()/1e6, p.Slowdown, deadline)
+	}
+	for _, ns := range r.NodeStats {
+		fmt.Fprintf(&b, "  node %d: %d jobs in %d waves, busy %.3f ms, util %.2f\n",
+			ns.Node, ns.Jobs, ns.Waves, ns.BusyNs/1e6, ns.Utilization)
+	}
+	fmt.Fprintf(&b, "makespan %.3f ms, mean jct %.3f ms, mean queue %.3f ms, fairness %.3f (Jain, solo-normalized)",
+		r.MakespanNs/1e6, r.MeanJCTNs/1e6, r.MeanQueueNs/1e6, r.FairnessIndex)
+	if r.DeadlinesTotal > 0 {
+		fmt.Fprintf(&b, ", deadlines %d/%d met", r.DeadlinesMet, r.DeadlinesTotal)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,248 @@
+package place
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"opsched/internal/cluster"
+	"opsched/internal/hw"
+	"opsched/internal/nn"
+)
+
+// lstmStream is a small deterministic workload used across the tests.
+func lstmStream(n int) Workload {
+	return MustSynthetic(n, 1, []string{nn.LSTM}, 1e6)
+}
+
+// TestValidationErrors: every exported constructor path rejects bad input
+// with a message naming the offending field — the table covers zero nodes,
+// negative arrival times, unknown policies and the rest of the
+// configuration surface.
+func TestValidationErrors(t *testing.T) {
+	good := lstmStream(2)
+	badMachine := hw.NewKNL()
+	badMachine.Cores = 0
+	cases := []struct {
+		name string
+		w    Workload
+		c    Cluster
+		opts Options
+		want string
+	}{
+		{"empty workload", Workload{}, Cluster{Nodes: 1}, Options{}, "empty workload"},
+		{"negative arrival", Workload{{Model: "lstm", ArrivalNs: -5}}, Cluster{Nodes: 1}, Options{},
+			"negative arrival time"},
+		{"infinite arrival", Workload{{Model: "lstm", ArrivalNs: math.Inf(1)}}, Cluster{Nodes: 1}, Options{},
+			"non-finite arrival"},
+		{"NaN arrival", Workload{{Model: "lstm", ArrivalNs: math.NaN()}}, Cluster{Nodes: 1}, Options{},
+			"non-finite arrival"},
+		{"infinite deadline", Workload{{Model: "lstm", DeadlineNs: math.Inf(1)}}, Cluster{Nodes: 1}, Options{},
+			"non-finite deadline"},
+		{"unknown model", Workload{{Model: "vgg"}}, Cluster{Nodes: 1}, Options{}, "unknown model"},
+		{"negative deadline", Workload{{Model: "lstm", DeadlineNs: -1}}, Cluster{Nodes: 1}, Options{},
+			"negative deadline"},
+		{"deadline before arrival", Workload{{Model: "lstm", ArrivalNs: 10, DeadlineNs: 5}}, Cluster{Nodes: 1},
+			Options{}, "deadline"},
+		{"zero nodes", good, Cluster{Nodes: 0}, Options{}, "at least one node"},
+		{"negative nodes", good, Cluster{Nodes: -3}, Options{}, "at least one node"},
+		{"bad machine", good, Cluster{Nodes: 1, Machine: badMachine}, Options{}, "Cores"},
+		{"bad interconnect bandwidth", good,
+			Cluster{Nodes: 1, Interconnect: &cluster.Interconnect{BWBytesNs: 0, LatencyNs: 1}},
+			Options{}, "bandwidth"},
+		{"negative interconnect latency", good,
+			Cluster{Nodes: 1, Interconnect: &cluster.Interconnect{BWBytesNs: 1, LatencyNs: -1}},
+			Options{}, "latency"},
+		{"unknown policy", good, Cluster{Nodes: 1}, Options{Policy: "random"}, "unknown policy"},
+		{"unknown arbiter", good, Cluster{Nodes: 1}, Options{Arbiter: "nope"}, "unknown arbiter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := PlaceJobs(tc.w, tc.c, tc.opts)
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSyntheticWorkload: the generator is deterministic, honours the model
+// cycle, keeps arrivals sorted and non-negative, and rejects bad input.
+func TestSyntheticWorkload(t *testing.T) {
+	a := MustSynthetic(8, 7, []string{"lstm", "dcgan"}, 2e6)
+	b := MustSynthetic(8, 7, []string{"lstm", "dcgan"}, 2e6)
+	if len(a) != 8 {
+		t.Fatalf("got %d jobs, want 8", len(a))
+	}
+	prev := -1.0
+	deadlines := 0
+	for i, j := range a {
+		if j != b[i] {
+			t.Fatalf("job %d differs between identical seeds: %+v vs %+v", i, j, b[i])
+		}
+		if j.ArrivalNs < prev {
+			t.Errorf("job %d arrival %v precedes job %d", i, j.ArrivalNs, i-1)
+		}
+		prev = j.ArrivalNs
+		want := nn.LSTM
+		if i%2 == 1 {
+			want = nn.DCGAN
+		}
+		if j.Model != want {
+			t.Errorf("job %d model %s, want %s", i, j.Model, want)
+		}
+		if j.DeadlineNs > 0 {
+			deadlines++
+		}
+	}
+	if deadlines != 2 {
+		t.Errorf("got %d deadlines over 8 jobs, want 2", deadlines)
+	}
+	if c := MustSynthetic(3, 9, nil, 2e6); len(c) != 3 || c[0].Model != nn.ResNet50 {
+		t.Errorf("default models start with %q", c[0].Model)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("synthetic workload fails validation: %v", err)
+	}
+	if _, err := Synthetic(0, 1, nil, 0); err == nil {
+		t.Error("zero-job workload accepted")
+	}
+	if _, err := Synthetic(2, 1, []string{"vgg"}, 0); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// TestPlaceJobsEndToEnd: a small stream over two nodes finishes every job
+// with consistent bookkeeping — queueing after arrival, finish after start,
+// slowdown at least the co-run slowdown which is at least 1 — and the
+// report is byte-identical across repeated runs.
+func TestPlaceJobsEndToEnd(t *testing.T) {
+	w := lstmStream(5)
+	for _, policy := range Policies() {
+		res, err := PlaceJobs(w, Cluster{Nodes: 2}, Options{Policy: policy})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if len(res.Jobs) != len(w) {
+			t.Fatalf("%s: %d jobs placed, want %d", policy, len(res.Jobs), len(w))
+		}
+		totalJobs := 0
+		for _, ns := range res.NodeStats {
+			totalJobs += ns.Jobs
+		}
+		if totalJobs != len(w) {
+			t.Errorf("%s: node stats count %d jobs, want %d", policy, totalJobs, len(w))
+		}
+		for i, p := range res.Jobs {
+			if p.Node < 0 || p.Node >= 2 {
+				t.Errorf("%s: job %d on node %d of 2", policy, i, p.Node)
+			}
+			if p.StartNs < p.ArrivalNs || p.FinishNs < p.StartNs {
+				t.Errorf("%s: job %d times arrive=%v start=%v finish=%v", policy, i, p.ArrivalNs, p.StartNs, p.FinishNs)
+			}
+			if p.QueueNs < 0 {
+				t.Errorf("%s: job %d negative queueing %v", policy, i, p.QueueNs)
+			}
+			if p.ReadyNs < p.ArrivalNs || p.StartNs < p.ReadyNs {
+				t.Errorf("%s: job %d started %v before staged %v", policy, i, p.StartNs, p.ReadyNs)
+			}
+			if p.CoRunSlowdown < 1-1e-9 {
+				t.Errorf("%s: job %d co-run slowdown %.4f < 1", policy, i, p.CoRunSlowdown)
+			}
+			if p.Slowdown < p.CoRunSlowdown-1e-9 {
+				t.Errorf("%s: job %d slowdown %.4f < co-run slowdown %.4f", policy, i, p.Slowdown, p.CoRunSlowdown)
+			}
+			if p.FinishNs > res.MakespanNs {
+				t.Errorf("%s: job %d finishes %v after makespan %v", policy, i, p.FinishNs, res.MakespanNs)
+			}
+		}
+		if res.FairnessIndex <= 0 || res.FairnessIndex > 1+1e-12 {
+			t.Errorf("%s: fairness %v outside (0,1]", policy, res.FairnessIndex)
+		}
+		again, err := PlaceJobs(w, Cluster{Nodes: 2}, Options{Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Render() != again.Render() {
+			t.Errorf("%s: identical runs render different reports", policy)
+		}
+	}
+}
+
+// TestPolicyShapes: spread balances the job count across nodes, binpack
+// consolidates onto one node while capacity lasts — the structural
+// differences the policies exist for.
+func TestPolicyShapes(t *testing.T) {
+	// Four jobs submitted together: spread alternates nodes as each
+	// placement raises the chosen node's commitment, binpack keeps
+	// re-packing node 0 (68 cores of capacity dwarf four jobs).
+	w := Workload{
+		{Model: "lstm", ArrivalNs: 0},
+		{Model: "lstm", ArrivalNs: 0},
+		{Model: "lstm", ArrivalNs: 0},
+		{Model: "lstm", ArrivalNs: 0},
+	}
+	spreadRes, err := PlaceJobs(w, Cluster{Nodes: 2}, Options{Policy: "spread"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := map[int]int{}
+	for _, p := range spreadRes.Jobs {
+		perNode[p.Node]++
+	}
+	if perNode[0] != 2 || perNode[1] != 2 {
+		t.Errorf("spread placed %v, want 2 jobs per node", perNode)
+	}
+
+	packRes, err := PlaceJobs(w, Cluster{Nodes: 2}, Options{Policy: "binpack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range packRes.Jobs {
+		if p.Node != 0 {
+			t.Errorf("binpack sent job %d to node %d, want 0", i, p.Node)
+		}
+	}
+	if packRes.NodeStats[1].Waves != 0 {
+		t.Errorf("binpack used node 1 (%d waves)", packRes.NodeStats[1].Waves)
+	}
+}
+
+// TestSingleNodeDegeneratesToCoTrain: on a one-node cluster every policy
+// produces the same placement (node 0), and simultaneous arrivals join one
+// wave.
+func TestSingleNodeDegeneratesToCoTrain(t *testing.T) {
+	// Same model twice so both jobs stage in the same transfer time and
+	// join one wave (a heavier model would still be staging when the
+	// lighter one's wave launches).
+	w := Workload{
+		{Model: "lstm", ArrivalNs: 0},
+		{Model: "lstm", ArrivalNs: 0},
+	}
+	var renders []string
+	for _, policy := range Policies() {
+		res, err := PlaceJobs(w, Cluster{Nodes: 1}, Options{Policy: policy})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		for i, p := range res.Jobs {
+			if p.Node != 0 {
+				t.Errorf("%s: job %d on node %d", policy, i, p.Node)
+			}
+			if p.Wave != 0 {
+				t.Errorf("%s: job %d in wave %d, want one shared wave", policy, i, p.Wave)
+			}
+		}
+		r := res.Render()
+		renders = append(renders, strings.Replace(r, "policy="+policy, "policy=X", 1))
+	}
+	for i := 1; i < len(renders); i++ {
+		if renders[i] != renders[0] {
+			t.Errorf("policy %s renders a different single-node placement:\n%s\nvs\n%s",
+				Policies()[i], renders[i], renders[0])
+		}
+	}
+}

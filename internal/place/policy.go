@@ -1,0 +1,151 @@
+package place
+
+import "fmt"
+
+// NodeView is the read-only snapshot of one node a placement policy ranks.
+type NodeView struct {
+	// Index is the node's cluster index; Cores its physical core count.
+	Index int
+	Cores int
+	// FreeNs is when the node's in-flight co-run wave completes; a value
+	// at or before the arrival time means the node is idle.
+	FreeNs float64
+	// Resident counts the jobs in the in-flight wave (0 when idle);
+	// Queued counts jobs staged or staging behind it.
+	Resident int
+	Queued   int
+	// QueuedWorkNs is the perfmodel-predicted solo work of the queued
+	// jobs — what the model-aware policy ranks by.
+	QueuedWorkNs float64
+}
+
+// Load is the node's total job commitment: in-flight plus queued.
+func (v NodeView) Load() int { return v.Resident + v.Queued }
+
+// Policy picks a node for every arriving job. Implementations must be
+// deterministic — ties always break on the lower node index — so placements
+// render byte-identical reports at any sweep parallelism.
+type Policy interface {
+	// Name identifies the policy in results and CLI flags.
+	Name() string
+	// Pick returns the node index in [0, len(nodes)) for a job arriving at
+	// nowNs whose perfmodel-predicted solo work is jobWorkNs. The nodes
+	// slice is ordered by index.
+	Pick(job JobSpec, jobWorkNs, nowNs float64, nodes []NodeView) int
+}
+
+// BinPack consolidates: it places each job on the most-loaded node that
+// still has spare core capacity (every co-run job needs at least one
+// physical core, so a node "fits" while its job count is below its cores),
+// draining the cluster onto as few nodes as possible. When every node is at
+// capacity it falls back to the least-loaded node.
+type BinPack struct{}
+
+// Name implements Policy.
+func (BinPack) Name() string { return "binpack" }
+
+// Pick implements Policy.
+func (BinPack) Pick(_ JobSpec, _ float64, _ float64, nodes []NodeView) int {
+	best := -1
+	for _, v := range nodes {
+		if v.Load() >= v.Cores {
+			continue
+		}
+		if best < 0 || v.Load() > nodes[best].Load() {
+			best = v.Index
+		}
+	}
+	if best < 0 {
+		return leastLoaded(nodes)
+	}
+	return best
+}
+
+// Spread balances: every job goes to the node with the fewest committed
+// jobs, ties on the lower index — the classic least-loaded heuristic that
+// ignores what the jobs actually are.
+type Spread struct{}
+
+// Name implements Policy.
+func (Spread) Name() string { return "spread" }
+
+// Pick implements Policy.
+func (Spread) Pick(_ JobSpec, _ float64, _ float64, nodes []NodeView) int {
+	return leastLoaded(nodes)
+}
+
+// ModelAware ranks nodes by the arriving job's predicted finish time: the
+// node's wave-completion time (or now, if idle) plus the queued work and
+// the job's own work, inflated by the machine model's mesh-interference
+// factor for the jobs it would co-run with. The work terms come from
+// perfmodel hill-climb predictions (multijob.PredictedSoloWorkNs), so a
+// short LSTM is not penalized for queueing behind another short job the
+// way a ResNet-50 would be. Nodes already at core capacity are considered
+// only when every node is full.
+type ModelAware struct{}
+
+// Name implements Policy.
+func (ModelAware) Name() string { return "model-aware" }
+
+// meshAlpha mirrors the exec engine's pinned mesh-interference constant:
+// each additional co-runner costs roughly this fraction of throughput.
+const meshAlpha = 0.22
+
+// Pick implements Policy.
+func (ModelAware) Pick(_ JobSpec, jobWorkNs, nowNs float64, nodes []NodeView) int {
+	best, bestEst := -1, 0.0
+	full, fullEst := -1, 0.0
+	for _, v := range nodes {
+		start := v.FreeNs
+		if start < nowNs {
+			start = nowNs
+		}
+		est := start + (v.QueuedWorkNs+jobWorkNs)*(1+meshAlpha*float64(v.Load()))
+		if v.Load() >= v.Cores {
+			if full < 0 || est < fullEst {
+				full, fullEst = v.Index, est
+			}
+			continue
+		}
+		if best < 0 || est < bestEst {
+			best, bestEst = v.Index, est
+		}
+	}
+	if best < 0 {
+		return full
+	}
+	return best
+}
+
+// leastLoaded is the shared min-commitment tie-break: fewest jobs, then
+// lowest index.
+func leastLoaded(nodes []NodeView) int {
+	best := 0
+	for _, v := range nodes[1:] {
+		if v.Load() < nodes[best].Load() {
+			best = v.Index
+		}
+	}
+	return best
+}
+
+// Policies lists the built-in placement policy names in NewPolicy's
+// accepted spelling.
+func Policies() []string {
+	return []string{BinPack{}.Name(), Spread{}.Name(), ModelAware{}.Name()}
+}
+
+// NewPolicy resolves a policy name ("binpack", "spread", "model-aware") to
+// its implementation.
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "binpack":
+		return BinPack{}, nil
+	case "spread":
+		return Spread{}, nil
+	case "model-aware":
+		return ModelAware{}, nil
+	default:
+		return nil, fmt.Errorf("place: unknown policy %q (have %v)", name, Policies())
+	}
+}

@@ -1,0 +1,69 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"opsched/internal/hw"
+	"opsched/internal/nn"
+)
+
+// tinyMachine is a 4-core node (KNL constants otherwise): small enough that
+// random workloads actually hit the one-job-per-core wave capacity.
+func tinyMachine() *hw.Machine {
+	m := hw.NewKNL()
+	m.Cores = 4
+	m.CoresPerTile = 2
+	return m
+}
+
+// TestPlacementCapacityProperty is the scheduling-core placement invariant
+// under seeded random inputs: whatever the workload, cluster size and
+// policy, no co-run wave ever holds more jobs than the node has physical
+// cores (every co-run job needs at least one core), every job lands on a
+// real node, queueing is non-negative, and co-running never beats solo.
+func TestPlacementCapacityProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement property runs full co-scheduled waves")
+	}
+	m := tinyMachine()
+	prop := func(seed uint16, nJobs, nNodes, polIdx uint8) bool {
+		jobs := 1 + int(nJobs)%7
+		nodes := 1 + int(nNodes)%3
+		policy := Policies()[int(polIdx)%len(Policies())]
+		w := MustSynthetic(jobs, uint64(seed)+1, []string{nn.LSTM}, 5e5)
+		res, err := PlaceJobs(w, Cluster{Nodes: nodes, Machine: m}, Options{Policy: policy})
+		if err != nil {
+			t.Logf("seed=%d jobs=%d nodes=%d policy=%s: %v", seed, jobs, nodes, policy, err)
+			return false
+		}
+		waveJobs := map[[2]int]int{}
+		for i, p := range res.Jobs {
+			if p.Node < 0 || p.Node >= nodes {
+				t.Logf("job %d on node %d of %d", i, p.Node, nodes)
+				return false
+			}
+			if p.QueueNs < 0 || p.StartNs < p.ArrivalNs {
+				t.Logf("job %d queued %v, start %v, arrival %v", i, p.QueueNs, p.StartNs, p.ArrivalNs)
+				return false
+			}
+			if p.CoRunSlowdown < 1-1e-9 || p.Slowdown < 1-1e-9 {
+				t.Logf("job %d slowdown %.4f (corun %.4f) < 1", i, p.Slowdown, p.CoRunSlowdown)
+				return false
+			}
+			waveJobs[[2]int{p.Node, p.Wave}]++
+		}
+		for key, count := range waveJobs {
+			if count > m.Cores {
+				t.Logf("node %d wave %d co-runs %d jobs on %d cores", key[0], key[1], count, m.Cores)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 6, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"opsched/internal/cluster"
+	"opsched/internal/core"
+	"opsched/internal/hw"
+	"opsched/internal/nn"
+	"opsched/internal/place"
+)
+
+// NamedWorkload pairs a job stream with a label for cell attribution.
+type NamedWorkload struct {
+	Name string
+	Jobs place.Workload
+}
+
+// DefaultClusterWorkloads is one small deterministic stream mixing a short
+// job (LSTM) with a mid-size one (DCGAN) — cheap enough for smoke runs,
+// busy enough that placement policies visibly diverge.
+func DefaultClusterWorkloads() []NamedWorkload {
+	return []NamedWorkload{
+		{Name: "mix6", Jobs: place.MustSynthetic(6, 1, []string{nn.LSTM, nn.DCGAN}, 2e6)},
+	}
+}
+
+// ClusterGrid is a workload × policy × cluster-size sweep specification.
+type ClusterGrid struct {
+	// Workloads to place; empty means DefaultClusterWorkloads.
+	Workloads []NamedWorkload
+	// Policies are placement policy names accepted by place.NewPolicy;
+	// empty means all built-in policies.
+	Policies []string
+	// Sizes are cluster node counts; empty means {1, 2, 4}.
+	Sizes []int
+	// Arbiter is the per-node cross-job policy; empty means "fair".
+	Arbiter string
+	// Machine is the per-node hardware model; nil means hw.NewKNL().
+	Machine *hw.Machine
+	// Interconnect joins the nodes; nil means cluster.NewAries().
+	Interconnect *cluster.Interconnect
+	// Config is the per-job runtime configuration; nil means the full
+	// strategy set (AllStrategies).
+	Config *core.Config
+}
+
+func (g ClusterGrid) workloads() []NamedWorkload {
+	if len(g.Workloads) == 0 {
+		return DefaultClusterWorkloads()
+	}
+	return g.Workloads
+}
+
+func (g ClusterGrid) policies() []string {
+	if len(g.Policies) == 0 {
+		return place.Policies()
+	}
+	return g.Policies
+}
+
+func (g ClusterGrid) sizes() []int {
+	if len(g.Sizes) == 0 {
+		return []int{1, 2, 4}
+	}
+	return g.Sizes
+}
+
+// ClusterCell is the outcome of one cluster-placement grid point.
+type ClusterCell struct {
+	// Workload, Policy and Nodes name the grid point.
+	Workload string
+	Policy   string
+	Nodes    int
+	// Result is the full placement outcome (nil until evaluated). Its
+	// rendered report is deterministic: a parallel sweep produces
+	// byte-identical reports to a serial one.
+	Result *place.Result
+	// Elapsed is the wall-clock cost of evaluating the cell (the only
+	// nondeterministic field).
+	Elapsed time.Duration
+}
+
+// clusterPoint pairs a cell label with its resolved inputs so
+// RunClusterGrid never round-trips through names.
+type clusterPoint struct {
+	cell ClusterCell
+	jobs place.Workload
+	c    place.Cluster
+	opts place.Options
+}
+
+func (g ClusterGrid) points() []clusterPoint {
+	var pts []clusterPoint
+	for _, wl := range g.workloads() {
+		for _, pol := range g.policies() {
+			for _, size := range g.sizes() {
+				pts = append(pts, clusterPoint{
+					cell: ClusterCell{Workload: wl.Name, Policy: pol, Nodes: size},
+					jobs: wl.Jobs,
+					c:    place.Cluster{Nodes: size, Machine: g.Machine, Interconnect: g.Interconnect},
+					opts: place.Options{Policy: pol, Arbiter: g.Arbiter, Config: g.Config},
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// Cells enumerates the grid points in deterministic workload-major,
+// policy-minor, size-innermost order — the order RunClusterGrid's results
+// use.
+func (g ClusterGrid) Cells() []ClusterCell {
+	pts := g.points()
+	cells := make([]ClusterCell, len(pts))
+	for i, pt := range pts {
+		cells[i] = pt.cell
+	}
+	return cells
+}
+
+// RunClusterGrid evaluates every cluster-placement grid point on up to
+// parallelism workers. Each cell runs its own placement engine (goroutine
+// confinement); hill-climb profiles are shared across cells through the
+// perfmodel cache, so every cell of one workload profiles each model once.
+// Results are indexed exactly like ClusterGrid.Cells.
+func RunClusterGrid(ctx context.Context, g ClusterGrid, parallelism int) ([]ClusterCell, error) {
+	return Map(ctx, parallelism, g.points(), func(ctx context.Context, _ int, pt clusterPoint) (ClusterCell, error) {
+		start := time.Now()
+		cell := pt.cell
+		res, err := place.PlaceJobs(pt.jobs, pt.c, pt.opts)
+		if err != nil {
+			return ClusterCell{}, fmt.Errorf("sweep: cell %s/%s/n=%d: %w", cell.Workload, cell.Policy, cell.Nodes, err)
+		}
+		cell.Result = res
+		cell.Elapsed = time.Since(start)
+		return cell, nil
+	})
+}

@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"opsched/internal/nn"
+	"opsched/internal/place"
+)
+
+func clusterGrid() ClusterGrid {
+	return ClusterGrid{
+		Workloads: []NamedWorkload{
+			{Name: "lstm4", Jobs: place.MustSynthetic(4, 3, []string{nn.LSTM}, 1e6)},
+		},
+		Sizes: []int{1, 2},
+	}
+}
+
+// TestClusterGridCells: enumeration is workload-major, policy-minor,
+// size-innermost, and the empty grid covers the default workload under
+// every policy at sizes 1/2/4.
+func TestClusterGridCells(t *testing.T) {
+	cells := clusterGrid().Cells()
+	if len(cells) != 3*2 {
+		t.Fatalf("got %d cells, want 6", len(cells))
+	}
+	if cells[0].Workload != "lstm4" || cells[0].Policy != "binpack" || cells[0].Nodes != 1 {
+		t.Errorf("first cell is %+v", cells[0])
+	}
+	if cells[1].Nodes != 2 || cells[2].Policy != "spread" {
+		t.Errorf("cells enumerate %+v, %+v", cells[1], cells[2])
+	}
+	if def := (ClusterGrid{}).Cells(); len(def) != 3*3 {
+		t.Errorf("default grid has %d cells, want 9", len(def))
+	}
+}
+
+// TestClusterGridDeterminism is the cluster-sweep determinism contract:
+// the same workload under any policy and size renders byte-identical
+// reports whether the sweep runs serially or on eight workers, in the
+// exact Cells order.
+func TestClusterGridDeterminism(t *testing.T) {
+	g := clusterGrid()
+	serial, err := RunClusterGrid(context.Background(), g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunClusterGrid(context.Background(), g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := g.Cells()
+	if len(serial) != len(labels) || len(parallel) != len(labels) {
+		t.Fatalf("got %d serial / %d parallel cells, want %d", len(serial), len(parallel), len(labels))
+	}
+	for i := range labels {
+		for _, c := range []ClusterCell{serial[i], parallel[i]} {
+			if c.Workload != labels[i].Workload || c.Policy != labels[i].Policy || c.Nodes != labels[i].Nodes {
+				t.Errorf("cell %d is %s/%s/%d, want %s/%s/%d",
+					i, c.Workload, c.Policy, c.Nodes, labels[i].Workload, labels[i].Policy, labels[i].Nodes)
+			}
+		}
+		if s, p := serial[i].Result.Render(), parallel[i].Result.Render(); s != p {
+			t.Errorf("cell %d reports differ between serial and parallel sweeps:\n%s\nvs\n%s", i, s, p)
+		}
+	}
+}
+
+// TestClusterGridSlowdowns: every placed job in every cell reports
+// slowdown >= 1 — queueing and contention can only hurt.
+func TestClusterGridSlowdowns(t *testing.T) {
+	cells, err := RunClusterGrid(context.Background(), clusterGrid(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		for _, j := range c.Result.Jobs {
+			if j.Slowdown < 1-1e-9 {
+				t.Errorf("%s/%s/n=%d: job %s slowdown %.4f < 1", c.Workload, c.Policy, c.Nodes, j.Name, j.Slowdown)
+			}
+		}
+	}
+}
+
+// TestClusterGridBadInput: unknown policies and broken clusters fail the
+// sweep with a labelled error.
+func TestClusterGridBadInput(t *testing.T) {
+	g := clusterGrid()
+	g.Policies = []string{"nope"}
+	if _, err := RunClusterGrid(context.Background(), g, 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	g = clusterGrid()
+	g.Sizes = []int{0}
+	if _, err := RunClusterGrid(context.Background(), g, 1); err == nil {
+		t.Error("zero-node cluster accepted")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"opsched/internal/multijob"
 	"opsched/internal/nn"
 	"opsched/internal/perfmodel"
+	"opsched/internal/place"
 	"opsched/internal/sweep"
 )
 
@@ -253,4 +254,69 @@ type JobSweepCell = sweep.JobCell
 // reports are byte-identical whatever the parallelism.
 func RunJobSweep(ctx context.Context, g JobSweepGrid, parallelism int) ([]JobSweepCell, error) {
 	return sweep.RunJobGrid(ctx, g, parallelism)
+}
+
+// ClusterJob is one job in a workload stream entering the cluster: a model,
+// an arrival time, a priority, a fair-share weight and an optional
+// deadline (see place.JobSpec).
+type ClusterJob = place.JobSpec
+
+// ClusterWorkload is a stream of jobs submitted to a cluster.
+type ClusterWorkload = place.Workload
+
+// Cluster describes the hardware a workload is placed onto: identical
+// nodes joined by an interconnect.
+type Cluster = place.Cluster
+
+// PlaceOptions configure a cluster placement run: the placement policy,
+// the per-node cross-job arbiter and the per-job runtime configuration.
+type PlaceOptions = place.Options
+
+// PlacementResult is the outcome of placing a workload onto a cluster:
+// per-job completion times, queueing delays and slowdowns, plus
+// cluster-wide makespan, utilization and Jain fairness.
+type PlacementResult = place.Result
+
+// PlacedJob is one job's outcome inside a PlacementResult.
+type PlacedJob = place.PlacedJob
+
+// PlacementPolicies lists the placement policies PlaceJobs accepts:
+// "binpack" (consolidate onto the most-loaded node with spare capacity),
+// "spread" (least-loaded node) and "model-aware" (minimize the job's
+// predicted finish time using perfmodel work predictions).
+func PlacementPolicies() []string { return place.Policies() }
+
+// PlaceJobs admits a workload of jobs onto a cluster under the given
+// options and runs it to completion on one virtual cluster clock: every
+// arriving job is placed by the policy, and each node gang-schedules its
+// resident jobs through the multi-job co-scheduling engine. Execution is
+// fully deterministic.
+func PlaceJobs(w ClusterWorkload, c Cluster, opts PlaceOptions) (*PlacementResult, error) {
+	return place.PlaceJobs(w, c, opts)
+}
+
+// SyntheticWorkload builds a deterministic n-job workload from seed:
+// models cycle through the given list (nil means all four paper
+// workloads), arrivals follow a seeded uniform stream with the given mean
+// gap (<= 0 means 2 ms), and every fourth job carries a deadline.
+func SyntheticWorkload(n int, seed uint64, models []string, meanGapNs float64) (ClusterWorkload, error) {
+	return place.Synthetic(n, seed, models, meanGapNs)
+}
+
+// NamedWorkload pairs a job stream with a label for sweep attribution.
+type NamedWorkload = sweep.NamedWorkload
+
+// ClusterSweepGrid is a workload × policy × cluster-size sweep
+// specification.
+type ClusterSweepGrid = sweep.ClusterGrid
+
+// ClusterSweepCell is the outcome of one cluster-placement grid point.
+type ClusterSweepCell = sweep.ClusterCell
+
+// RunClusterSweep evaluates a workload × policy × cluster-size grid across
+// up to parallelism worker goroutines, returning cells in the grid's
+// deterministic enumeration order (see ClusterSweepGrid.Cells). Rendered
+// reports are byte-identical whatever the parallelism.
+func RunClusterSweep(ctx context.Context, g ClusterSweepGrid, parallelism int) ([]ClusterSweepCell, error) {
+	return sweep.RunClusterGrid(ctx, g, parallelism)
 }

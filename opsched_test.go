@@ -1,10 +1,117 @@
 package opsched
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 )
+
+// serializeCells JSON-encodes a sweep's deterministic payload: the cell
+// labels plus rendered reports, with the wall-clock Elapsed fields (the
+// only legitimately nondeterministic data) left out.
+func serializeCells(t *testing.T, cells interface{}) []byte {
+	t.Helper()
+	type entry struct {
+		Label  []interface{} `json:"label"`
+		Report string        `json:"report"`
+	}
+	var entries []entry
+	switch cs := cells.(type) {
+	case []JobSweepCell:
+		for _, c := range cs {
+			entries = append(entries, entry{
+				Label:  []interface{}{c.Machine, c.Mix, c.Arbiter},
+				Report: c.Result.Render(),
+			})
+		}
+	case []ClusterSweepCell:
+		for _, c := range cs {
+			entries = append(entries, entry{
+				Label:  []interface{}{c.Workload, c.Policy, c.Nodes},
+				Report: c.Result.Render(),
+			})
+		}
+	default:
+		t.Fatalf("serializeCells: unsupported type %T", cells)
+	}
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSweepSerializedDeterminism is the in-repo determinism gate (the CI
+// workflow checks the same property through the CLI): the job sweep and
+// the cluster sweep serialize byte-identically at parallelism 1 and 8.
+func TestSweepSerializedDeterminism(t *testing.T) {
+	ctx := context.Background()
+
+	jobGrid := JobSweepGrid{Mixes: []JobMix{{Models: []string{DCGAN, LSTM}}}}
+	jobSerial, err := RunJobSweep(ctx, jobGrid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobParallel, err := RunJobSweep(ctx, jobGrid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serializeCells(t, jobSerial), serializeCells(t, jobParallel); !bytes.Equal(s, p) {
+		t.Errorf("job sweep serialization differs between parallel 1 and 8:\n%s\nvs\n%s", s, p)
+	}
+
+	workload, err := SyntheticWorkload(5, 2, []string{"lstm", "dcgan"}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterGrid := ClusterSweepGrid{
+		Workloads: []NamedWorkload{{Name: "stream5", Jobs: workload}},
+		Sizes:     []int{2},
+	}
+	clSerial, err := RunClusterSweep(ctx, clusterGrid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clParallel, err := RunClusterSweep(ctx, clusterGrid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serializeCells(t, clSerial), serializeCells(t, clParallel); !bytes.Equal(s, p) {
+		t.Errorf("cluster sweep serialization differs between parallel 1 and 8:\n%s\nvs\n%s", s, p)
+	}
+}
+
+// TestFacadePlaceJobs drives the cluster placement surface end to end:
+// short model names resolve, every policy places the stream, slowdowns
+// stay >= 1, and bad input is rejected.
+func TestFacadePlaceJobs(t *testing.T) {
+	workload, err := SyntheticWorkload(4, 1, []string{"lstm"}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range PlacementPolicies() {
+		res, err := PlaceJobs(workload, Cluster{Nodes: 2}, PlaceOptions{Policy: policy})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if len(res.Jobs) != 4 {
+			t.Fatalf("%s: placed %d jobs, want 4", policy, len(res.Jobs))
+		}
+		for _, j := range res.Jobs {
+			if j.Slowdown < 1-1e-9 {
+				t.Errorf("%s: job %s slowdown %.4f < 1", policy, j.Name, j.Slowdown)
+			}
+		}
+	}
+	if _, err := PlaceJobs(workload, Cluster{Nodes: 0}, PlaceOptions{}); err == nil {
+		t.Error("zero-node cluster accepted")
+	}
+	if _, err := PlaceJobs(workload, Cluster{Nodes: 1}, PlaceOptions{Policy: "nope"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
 
 func TestFacadeEndToEnd(t *testing.T) {
 	m := NewKNL()
