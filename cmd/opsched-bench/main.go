@@ -19,6 +19,8 @@
 //	opsched-bench -cluster 6                        # place a 6-job stream
 //	opsched-bench -cluster 8 -policy binpack -nodes 2,4
 //	                              # workload × policy × size grid
+//	opsched-bench -cluster 12 -nodes 2 -gpus 2      # heterogeneous fleet:
+//	                              # 2 KNL nodes + 2 P100 nodes
 //
 // Reports print to stdout in request order and are byte-identical whatever
 // -parallel is; per-experiment wall-clock timings go to stderr (or into the
@@ -85,6 +87,7 @@ type jsonPlacedJob struct {
 	Name     string  `json:"name"`
 	Model    string  `json:"model"`
 	Node     int     `json:"node"`
+	Hw       string  `json:"hw"`
 	Wave     int     `json:"wave"`
 	QueueMs  float64 `json:"queue_ms"`
 	CorunMs  float64 `json:"corun_ms"`
@@ -96,6 +99,8 @@ type jsonClusterCell struct {
 	Workload       string          `json:"workload"`
 	Policy         string          `json:"policy"`
 	Nodes          int             `json:"nodes"`
+	Gpus           int             `json:"gpus"`
+	Fleet          string          `json:"fleet"`
 	Report         string          `json:"report"`
 	MakespanMs     float64         `json:"makespan_ms"`
 	MeanJctMs      float64         `json:"mean_jct_ms"`
@@ -107,8 +112,9 @@ type jsonClusterCell struct {
 	ElapsedMs      float64         `json:"elapsed_ms"`
 }
 
+// jsonClusterOutput carries no global machine field: fleets vary per cell
+// (see each cell's fleet description).
 type jsonClusterOutput struct {
-	Machine     string            `json:"machine"`
 	Parallel    int               `json:"parallel"`
 	TotalMs     float64           `json:"total_ms"`
 	CacheHits   int               `json:"profile_cache_hits"`
@@ -125,7 +131,8 @@ func main() {
 	arbiter := flag.String("arbiter", "all", `cross-job arbiters for -jobs: comma-separated from fair, priority, srwf; "all" means every policy. -cluster mode uses one arbiter per node ("all" means fair)`)
 	clusterN := flag.Int("cluster", 0, "cluster mode: place a synthetic workload of this many jobs onto a cluster (0 = off)")
 	policy := flag.String("policy", "all", `placement policies for -cluster: comma-separated from binpack, spread, model-aware; "all" means every policy`)
-	nodesSpec := flag.String("nodes", "1,2,4", "cluster sizes for -cluster, comma-separated node counts")
+	nodesSpec := flag.String("nodes", "1,2,4", "CPU node counts for -cluster, comma-separated")
+	gpusSpec := flag.String("gpus", "0", "GPU node counts for -cluster, comma-separated, crossed with -nodes (0 = CPU-only)")
 	models := flag.String("models", "lstm,dcgan", "models the -cluster synthetic workload cycles through, comma-separated")
 	seed := flag.Uint64("seed", 1, "seed of the -cluster synthetic workload")
 	gapMs := flag.Float64("gap", 2, "mean inter-arrival gap of the -cluster synthetic workload, in ms")
@@ -144,7 +151,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *clusterN > 0 {
-		runCluster(ctx, *clusterN, *policy, *nodesSpec, *models, *arbiter, *seed, *gapMs, *parallel, *jsonOut)
+		runCluster(ctx, *clusterN, *policy, *nodesSpec, *gpusSpec, *models, *arbiter, *seed, *gapMs, *parallel, *jsonOut)
 		return
 	}
 
@@ -271,10 +278,11 @@ func runJobs(ctx context.Context, jobsSpec, arbiterSpec string, parallel int, js
 }
 
 // runCluster is the -cluster mode: a synthetic workload placed under every
-// requested policy at every requested cluster size, through the sweep pool.
-// Same determinism contract as the other modes — stdout is byte-identical
-// at any -parallel, timings go to stderr or the JSON payload.
-func runCluster(ctx context.Context, n int, policySpec, nodesSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, parallel int, jsonOut bool) {
+// requested policy at every requested node mix (CPU counts × GPU counts),
+// through the sweep pool. Same determinism contract as the other modes —
+// stdout is byte-identical at any -parallel, timings go to stderr or the
+// JSON payload.
+func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, parallel int, jsonOut bool) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
 		os.Exit(1)
@@ -304,20 +312,25 @@ func runCluster(ctx context.Context, n int, policySpec, nodesSpec, modelsSpec, a
 		}
 	}
 
-	var sizes []int
-	for _, s := range strings.Split(nodesSpec, ",") {
-		if s = strings.TrimSpace(s); s == "" {
-			continue
+	parseCounts := func(flagName, spec string) []int {
+		var counts []int
+		for _, s := range strings.Split(spec, ",") {
+			if s = strings.TrimSpace(s); s == "" {
+				continue
+			}
+			c, err := strconv.Atoi(s)
+			if err != nil {
+				fail(fmt.Errorf("%s %q: %w", flagName, spec, err))
+			}
+			counts = append(counts, c)
 		}
-		size, err := strconv.Atoi(s)
-		if err != nil {
-			fail(fmt.Errorf("-nodes %q: %w", nodesSpec, err))
+		if len(counts) == 0 {
+			fail(fmt.Errorf("%s %q names no node counts", flagName, spec))
 		}
-		sizes = append(sizes, size)
+		return counts
 	}
-	if len(sizes) == 0 {
-		fail(fmt.Errorf("-nodes %q names no cluster sizes", nodesSpec))
-	}
+	sizes := parseCounts("-nodes", nodesSpec)
+	gpus := parseCounts("-gpus", gpusSpec)
 
 	arb := strings.TrimSpace(arbiterSpec)
 	if arb == "all" {
@@ -328,6 +341,7 @@ func runCluster(ctx context.Context, n int, policySpec, nodesSpec, modelsSpec, a
 		Workloads: []opsched.NamedWorkload{{Name: fmt.Sprintf("synthetic%d", n), Jobs: workload}},
 		Policies:  policies,
 		Sizes:     sizes,
+		GPUs:      gpus,
 		Arbiter:   arb,
 	}
 	start := time.Now()
@@ -342,7 +356,6 @@ func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, par
 	hits, misses := opsched.ProfileCacheStats()
 	if jsonOut {
 		out := jsonClusterOutput{
-			Machine:     opsched.NewKNL().String(),
 			Parallel:    parallel,
 			TotalMs:     float64(total.Microseconds()) / 1e3,
 			CacheHits:   hits,
@@ -351,6 +364,7 @@ func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, par
 		for _, c := range cells {
 			jc := jsonClusterCell{
 				Workload: c.Workload, Policy: c.Policy, Nodes: c.Nodes,
+				Gpus: c.GPUs, Fleet: c.Result.Fleet,
 				Report:         c.Result.Render(),
 				MakespanMs:     c.Result.MakespanNs / 1e6,
 				MeanJctMs:      c.Result.MeanJCTNs / 1e6,
@@ -362,7 +376,7 @@ func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, par
 			}
 			for _, j := range c.Result.Jobs {
 				jc.Jobs = append(jc.Jobs, jsonPlacedJob{
-					Name: j.Name, Model: j.Model, Node: j.Node, Wave: j.Wave,
+					Name: j.Name, Model: j.Model, Node: j.Node, Hw: j.Kind, Wave: j.Wave,
 					QueueMs: j.QueueNs / 1e6, CorunMs: j.CoRunNs / 1e6,
 					JctMs: j.JCTNs() / 1e6, Slowdown: j.Slowdown,
 				})
@@ -378,9 +392,14 @@ func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, par
 		return
 	}
 
-	fmt.Printf("machine: %v\n\n", opsched.NewKNL())
+	// No global machine header: fleets vary per cell (a -gpus grid mixes
+	// KNL and P100 nodes), and every rendered report carries its own
+	// fleet= description.
 	for _, c := range cells {
 		label := fmt.Sprintf("%s / %s / n=%d", c.Workload, c.Policy, c.Nodes)
+		if c.GPUs > 0 {
+			label = fmt.Sprintf("%s+%dg", label, c.GPUs)
+		}
 		fmt.Printf("=== %s ===\n%s\n", label, c.Result.Render())
 		fmt.Fprintf(os.Stderr, "opsched-bench: %-35s %.2fs\n", label, c.Elapsed.Seconds())
 	}

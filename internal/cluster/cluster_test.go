@@ -196,3 +196,22 @@ func TestPartitionPreservesNodes(t *testing.T) {
 		t.Errorf("partitions cover %d nodes, want %d", total, want)
 	}
 }
+
+// TestParamBytes: the placement staging payload is the allreduce payload —
+// positive for every workload and dominated by the parameter tensors.
+func TestParamBytes(t *testing.T) {
+	for _, name := range nn.Names() {
+		g := nn.MustBuild(name).Graph
+		b := ParamBytes(g)
+		if b <= 0 {
+			t.Errorf("%s: ParamBytes = %v, want positive", name, b)
+		}
+		ic := NewAries()
+		if tr := ic.TransferNs(b); tr <= ic.LatencyNs {
+			t.Errorf("%s: staging transfer %v not above latency", name, tr)
+		}
+	}
+	if ic := NewAries(); ic.TransferNs(0) != ic.LatencyNs {
+		t.Error("zero payload should cost exactly the message latency")
+	}
+}

@@ -337,3 +337,11 @@ func TestProfilingBudget(t *testing.T) {
 		t.Errorf("profiling used %d steps, exceeds the C/x*2 budget", steps)
 	}
 }
+
+func TestRuntimeMachineAccessor(t *testing.T) {
+	m := hw.NewKNL()
+	rt := New(m, AllStrategies())
+	if rt.Machine() != m {
+		t.Error("Machine() does not return the scheduled-for machine")
+	}
+}

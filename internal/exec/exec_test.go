@@ -318,3 +318,46 @@ func TestValidateRejectsImpossiblePinnedPlacement(t *testing.T) {
 		t.Fatalf("pinned full-width run failed: %v", err)
 	}
 }
+
+// TestStateHelpers: the scheduler-facing State accessors — idle-core
+// accounting under non-HT load and the remaining-time maximum — behave on
+// empty, loaded and oversubscribed states.
+func TestStateHelpers(t *testing.T) {
+	m := hw.NewKNL()
+	st := &State{Machine: m}
+	if st.IdleCores() != m.Cores {
+		t.Errorf("empty state has %d idle cores, want %d", st.IdleCores(), m.Cores)
+	}
+	if st.MaxRemainingNs() != 0 {
+		t.Errorf("empty state max remaining %v, want 0", st.MaxRemainingNs())
+	}
+	st.Running = []*Running{
+		{Threads: 10, Placement: hw.Shared, remaining: 1, nominal: 5},
+		{Threads: 4, Placement: hw.Shared, remaining: 0.5, nominal: 18},
+		{Threads: 2, Placement: hw.Shared, HT: true, remaining: 1, nominal: 50},
+	}
+	if idle := st.IdleCores(); idle != m.Cores-14 {
+		t.Errorf("idle cores %d, want %d (HT guests occupy no cores)", idle, m.Cores-14)
+	}
+	if got := st.MaxRemainingNs(); got != 50 {
+		t.Errorf("max remaining %v, want 50", got)
+	}
+	st.Running[0].Threads = 10 * m.Cores
+	if st.IdleCores() != 0 {
+		t.Error("oversubscribed state reports idle cores")
+	}
+}
+
+// TestFIFOPresets: the TensorFlow default and the paper's recommendation
+// build the configurations the paper names.
+func TestFIFOPresets(t *testing.T) {
+	m := hw.NewKNL()
+	def := Default(m)
+	if def.InterOp != m.LogicalCPUs() || def.IntraOp != m.LogicalCPUs() {
+		t.Errorf("Default = %+v, want logical CPUs everywhere", def)
+	}
+	rec := Recommendation(m)
+	if rec.InterOp != 1 || rec.IntraOp != m.Cores {
+		t.Errorf("Recommendation = %+v, want 1/68", rec)
+	}
+}

@@ -12,6 +12,7 @@ package gpu
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -36,6 +37,22 @@ type Device struct {
 	LatencyFloor float64
 	// WaveOverhead is the per-extra-wave scheduling cost fraction.
 	WaveOverhead float64
+
+	// Streams is the number of concurrent CUDA streams the wave model
+	// gangs jobs onto — the device's co-run capacity in cluster
+	// placement; <= 0 means defaultStreams.
+	Streams int
+	// FlopsNs is the peak FP32 throughput in FLOPs per nanosecond
+	// (~9300 on P100); <= 0 means the P100 default.
+	FlopsNs float64
+	// KernelLaunchNs is the per-kernel launch/driver overhead every
+	// graph operation pays; <= 0 means the default (8 µs).
+	KernelLaunchNs float64
+	// FlopsHalf is the kernel FLOP count at which achieved compute
+	// throughput reaches half of peak: below it the kernel cannot keep
+	// enough threads in flight to hide latency, the GPU analogue of the
+	// CPU model's GrainNs. <= 0 means the default.
+	FlopsHalf float64
 }
 
 // NewP100 returns the Tesla P100 (CUDA 9, cuDNN 7) configuration of §VII.
@@ -50,10 +67,16 @@ func NewP100() *Device {
 		TPBSensitivity:  0.30,
 		LatencyFloor:    0.68,
 		WaveOverhead:    0.006,
+		Streams:         defaultStreams,
+		FlopsNs:         defaultFlopsNs,
+		KernelLaunchNs:  defaultKernelLaunchNs,
+		FlopsHalf:       defaultFlopsHalf,
 	}
 }
 
-// Validate reports whether the device description is usable.
+// Validate reports whether the device description is usable. The graph-work
+// fields (Streams, FlopsNs, KernelLaunchNs, FlopsHalf) may be zero —
+// accessors substitute the P100 defaults — but never negative.
 func (d *Device) Validate() error {
 	switch {
 	case d.SMs <= 0:
@@ -64,8 +87,22 @@ func (d *Device) Validate() error {
 		return errors.New("gpu: BWBytesNs must be positive")
 	case d.LatencyFloor <= 0 || d.LatencyFloor > 1:
 		return errors.New("gpu: LatencyFloor must be in (0,1]")
+	case d.Streams < 0:
+		return errors.New("gpu: Streams must be non-negative")
+	case d.FlopsNs < 0:
+		return errors.New("gpu: FlopsNs must be non-negative")
+	case d.KernelLaunchNs < 0:
+		return errors.New("gpu: KernelLaunchNs must be non-negative")
+	case d.FlopsHalf < 0:
+		return errors.New("gpu: FlopsHalf must be non-negative")
 	}
 	return nil
+}
+
+// String implements fmt.Stringer.
+func (d *Device) String() string {
+	return fmt.Sprintf("gpu{%d SMs, %d streams, %.0f GB/s}",
+		d.SMs, d.StreamCapacity(), d.BWBytesNs)
 }
 
 // Kernel is one GPU operation instance.
@@ -85,12 +122,17 @@ type Kernel struct {
 
 // tpbEff is the throughput factor of the threads-per-block choice: a
 // shallow peak at PeakTPB, matching the paper's ≤18% swing across
-// 64..16384 threads per block.
+// 64..16384 threads per block. An unset PeakTPB falls back to the P100's
+// 512 so a validated device never prices kernels at NaN.
 func (d *Device) tpbEff(tpb int) float64 {
 	if tpb <= 0 {
 		return 0
 	}
-	dev := math.Log2(float64(tpb) / d.PeakTPB)
+	peakTPB := d.PeakTPB
+	if peakTPB <= 0 {
+		peakTPB = 512
+	}
+	dev := math.Log2(float64(tpb) / peakTPB)
 	peak := 1 / (1 + d.TPBSensitivity*dev*dev)
 	return 0.80 + 0.20*peak
 }
@@ -162,6 +204,5 @@ func (d *Device) CoRunTime(a, b Kernel, blocks, tpb int) float64 {
 		return 0
 	}
 	overlap := short / long
-	interference := 0.05 + 0.08*(a.MemFrac+b.MemFrac)/2
-	return long * (1 + interference*overlap)
+	return long * (1 + streamInterference((a.MemFrac+b.MemFrac)/2)*overlap)
 }

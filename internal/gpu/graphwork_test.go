@@ -1,0 +1,192 @@
+package gpu
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"opsched/internal/nn"
+)
+
+func TestStreamCapacityDefaults(t *testing.T) {
+	d := NewP100()
+	if d.StreamCapacity() != defaultStreams {
+		t.Errorf("P100 stream capacity %d, want %d", d.StreamCapacity(), defaultStreams)
+	}
+	// Hand-made devices without the graph-work fields fall back to the
+	// P100 defaults instead of dividing by zero.
+	bare := &Device{SMs: 1, MaxThreadsPerSM: 1, BWBytesNs: 1, LatencyFloor: 1}
+	if err := bare.Validate(); err != nil {
+		t.Fatalf("bare device invalid: %v", err)
+	}
+	if bare.StreamCapacity() != defaultStreams || bare.flopsNs() != defaultFlopsNs ||
+		bare.kernelLaunchNs() != defaultKernelLaunchNs || bare.flopsHalf() != defaultFlopsHalf {
+		t.Error("zero graph-work fields do not default")
+	}
+	// A validated device with no launch defaults must still predict
+	// finite work — DefaultBlocks/DefaultTPB fall back to the P100's.
+	w := bare.PredictGraphWork(nn.MustBuild(nn.LSTM).Graph)
+	if w.SoloNs <= 0 || math.IsInf(w.SoloNs, 0) || math.IsNaN(w.SoloNs) {
+		t.Errorf("bare device predicts non-finite solo work %v", w.SoloNs)
+	}
+	for _, mutate := range []func(*Device){
+		func(d *Device) { d.Streams = -1 },
+		func(d *Device) { d.FlopsNs = -1 },
+		func(d *Device) { d.KernelLaunchNs = -1 },
+		func(d *Device) { d.FlopsHalf = -1 },
+	} {
+		bad := NewP100()
+		mutate(bad)
+		if err := bad.Validate(); err == nil {
+			t.Error("negative graph-work field accepted")
+		}
+	}
+}
+
+func TestDeviceString(t *testing.T) {
+	s := NewP100().String()
+	for _, want := range []string{"gpu{", "56 SMs", "8 streams"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+// TestPredictGraphWorkShape is the Section VII asymmetry the heterogeneous
+// placement engine routes by: the convolution-heavy DCGAN runs faster on
+// the device than the launch-bound LSTM even though DCGAN carries ~4.6×
+// the FLOPs — hundreds of tiny LSTM cells pay launch overhead and cannot
+// fill the SMs.
+func TestPredictGraphWorkShape(t *testing.T) {
+	d := NewP100()
+	lstm := d.PredictGraphWork(nn.MustBuild(nn.LSTM).Graph)
+	dcgan := d.PredictGraphWork(nn.MustBuild(nn.DCGAN).Graph)
+	if lstm.SoloNs <= 0 || dcgan.SoloNs <= 0 {
+		t.Fatalf("non-positive solo predictions: lstm=%v dcgan=%v", lstm.SoloNs, dcgan.SoloNs)
+	}
+	if dcgan.SoloNs >= lstm.SoloNs {
+		t.Errorf("DCGAN (%.2f ms) not faster than LSTM (%.2f ms) on the GPU",
+			dcgan.SoloNs/1e6, lstm.SoloNs/1e6)
+	}
+	if lstm.Kernels != nn.MustBuild(nn.LSTM).Graph.Len() {
+		t.Errorf("LSTM kernels %d != graph len", lstm.Kernels)
+	}
+	for _, w := range []GraphWork{lstm, dcgan} {
+		if w.MemFrac < 0 || w.MemFrac > 1 {
+			t.Errorf("MemFrac %v outside [0,1]", w.MemFrac)
+		}
+	}
+}
+
+func TestCoRunWaveSingleAndErrors(t *testing.T) {
+	d := NewP100()
+	outs, total, err := d.CoRunWave([]GraphWork{{SoloNs: 1e6, MemFrac: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Slowdown != 1 || outs[0].MakespanNs != 1e6 || total != 1e6 {
+		t.Errorf("single-job wave: %+v total %v, want solo time at slowdown 1", outs[0], total)
+	}
+	if _, _, err := d.CoRunWave(nil); err == nil {
+		t.Error("empty wave accepted")
+	}
+	over := make([]GraphWork, d.StreamCapacity()+1)
+	for i := range over {
+		over[i] = GraphWork{SoloNs: 1e6}
+	}
+	if _, _, err := d.CoRunWave(over); err == nil {
+		t.Error("wave above stream capacity accepted")
+	}
+	if _, _, err := d.CoRunWave([]GraphWork{{SoloNs: math.NaN()}}); err == nil {
+		t.Error("NaN solo time accepted")
+	}
+	if _, _, err := d.CoRunWave([]GraphWork{{SoloNs: -1}}); err == nil {
+		t.Error("negative solo time accepted")
+	}
+}
+
+// TestCoRunWavePairMatchesPaper: two equal jobs finish in (1+i)·solo — the
+// wave generalization reproduces the paper's 1.75–1.9× over serial at the
+// two-stream point.
+func TestCoRunWavePairMatchesPaper(t *testing.T) {
+	d := NewP100()
+	jobs := []GraphWork{{SoloNs: 2e6, MemFrac: 0.4}, {SoloNs: 2e6, MemFrac: 0.4}}
+	outs, total, err := d.CoRunWave(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := 4e6
+	speedup := serial / total
+	if speedup < 1.5 || speedup > 2.0 {
+		t.Errorf("two-stream speedup %.2f over serial, paper reports 1.75-1.91", speedup)
+	}
+	if outs[0].MakespanNs != outs[1].MakespanNs {
+		t.Errorf("equal jobs finish apart: %v vs %v", outs[0].MakespanNs, outs[1].MakespanNs)
+	}
+}
+
+// TestCoRunWaveProperties: under seeded random waves, every job's slowdown
+// is >= 1, finishes are bounded by the serial sum, the makespan is the last
+// finish, no job beats its solo time, and the simulation is deterministic.
+func TestCoRunWaveProperties(t *testing.T) {
+	d := NewP100()
+	prop := func(seed uint32, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := 1 + int(nRaw)%d.StreamCapacity()
+		jobs := make([]GraphWork, n)
+		serial := 0.0
+		for i := range jobs {
+			jobs[i] = GraphWork{SoloNs: 1e5 + 5e6*rng.Float64(), MemFrac: rng.Float64()}
+			serial += jobs[i].SoloNs
+		}
+		outs, total, err := d.CoRunWave(jobs)
+		if err != nil {
+			t.Logf("seed=%d n=%d: %v", seed, n, err)
+			return false
+		}
+		last := 0.0
+		for i, o := range outs {
+			if o.Slowdown < 1-1e-9 {
+				t.Logf("seed=%d job %d slowdown %.4f < 1", seed, i, o.Slowdown)
+				return false
+			}
+			if o.MakespanNs < jobs[i].SoloNs-1e-6 || o.MakespanNs > serial+1e-6 {
+				t.Logf("seed=%d job %d finish %v outside [solo %v, serial %v]",
+					seed, i, o.MakespanNs, jobs[i].SoloNs, serial)
+				return false
+			}
+			if o.MakespanNs > last {
+				last = o.MakespanNs
+			}
+		}
+		if math.Abs(last-total) > 1e-6 {
+			t.Logf("seed=%d makespan %v != last finish %v", seed, total, last)
+			return false
+		}
+		again, againTotal, _ := d.CoRunWave(jobs)
+		if againTotal != total {
+			t.Logf("seed=%d nondeterministic total", seed)
+			return false
+		}
+		for i := range outs {
+			if outs[i] != again[i] {
+				t.Logf("seed=%d nondeterministic job %d", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoRunAlphaBand(t *testing.T) {
+	a := NewP100().CoRunAlpha()
+	if a <= 0 || a >= 0.2 {
+		t.Errorf("CoRunAlpha %v outside the stream-interference band", a)
+	}
+}

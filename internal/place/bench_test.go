@@ -1,0 +1,49 @@
+package place
+
+import (
+	"fmt"
+	"testing"
+
+	"opsched/internal/nn"
+)
+
+// BenchmarkPlaceLargeStream is the scale-hardening benchmark: a ≥1000-job
+// stream placed onto GPU fleets of growing size. Before the wave-start
+// min-heap the event loop rescanned every node's queue per event —
+// O(jobs × nodes) work per event, quadratic over a run — so doubling the
+// fleet slowed every event down; with the heap plus incremental per-node
+// aggregates each event costs O(log nodes) beyond its own wave, and the
+// 64-node fleet places the same stream at nearly the 8-node per-job cost.
+// GPU nodes keep the wave simulations analytic so the benchmark measures
+// the event loop, not multijob co-training.
+func BenchmarkPlaceLargeStream(b *testing.B) {
+	for _, nodes := range []int{8, 64} {
+		for _, jobs := range []int{1000, 2000} {
+			w := MustSynthetic(jobs, 7, []string{nn.LSTM, nn.DCGAN}, 1e5)
+			b.Run(fmt.Sprintf("jobs=%d/gpus=%d", jobs, nodes), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := PlaceJobs(w, Cluster{GPUs: nodes}, Options{Policy: "model-aware"})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Jobs) != jobs {
+						b.Fatalf("placed %d jobs, want %d", len(res.Jobs), jobs)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPlaceHeteroStream exercises the mixed-fleet path end to end —
+// CPU waves through multijob co-training next to GPU stream waves — at a
+// smoke-test size.
+func BenchmarkPlaceHeteroStream(b *testing.B) {
+	w := MustSynthetic(8, 7, []string{nn.LSTM, nn.DCGAN}, 1e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlaceJobs(w, Cluster{Nodes: 1, GPUs: 1}, Options{Policy: "model-aware"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,11 +1,14 @@
 package place
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 	"sort"
 
 	"opsched/internal/cluster"
+	"opsched/internal/core"
+	"opsched/internal/gpu"
 	"opsched/internal/graph"
 	"opsched/internal/hw"
 	"opsched/internal/multijob"
@@ -14,30 +17,83 @@ import (
 
 // nodeState is one node's mutable bookkeeping inside the event loop.
 type nodeState struct {
+	rt       NodeRuntime
 	freeNs   float64 // when the in-flight wave completes
 	resident int     // jobs in the in-flight wave
 	queue    []int   // workload indices staged behind it, placement order
-	waves    int
-	jobs     int
-	busyNs   float64
+
+	// Incremental aggregates over queue, maintained so neither the wave
+	// scheduler nor a policy snapshot ever rescans every queued job:
+	// queuedWorkNs prices the queue on this node's hardware, minReadyNs
+	// is the earliest staged-job ready time (+Inf when empty).
+	queuedWorkNs float64
+	minReadyNs   float64
+
+	// version invalidates this node's entries in the wave-start heap:
+	// an entry pushed under an older version is stale and skipped.
+	version int
+
+	waves  int
+	jobs   int
+	busyNs float64
 }
 
-// modelInfo caches the per-model quantities the engine reuses across jobs:
-// the built graph, its perfmodel-predicted solo work, and the parameter
-// staging transfer over the interconnect.
+// waveStartNs is when the node's next gang wave could launch: it must be
+// free and its earliest-staged job must have arrived.
+func (ns *nodeState) waveStartNs() float64 {
+	if len(ns.queue) == 0 {
+		return math.Inf(1)
+	}
+	if ns.minReadyNs > ns.freeNs {
+		return ns.minReadyNs
+	}
+	return ns.freeNs
+}
+
+// waveEntry is one candidate wave start in the event loop's min-heap.
+type waveEntry struct {
+	startNs float64
+	node    int
+	version int
+}
+
+// waveHeap orders candidate wave starts by time, breaking ties on the
+// lower node index — the same deterministic order the former linear scan
+// produced, now at O(log nodes) per event instead of O(jobs × nodes).
+type waveHeap []waveEntry
+
+func (h waveHeap) Len() int { return len(h) }
+func (h waveHeap) Less(a, b int) bool {
+	if h[a].startNs != h[b].startNs {
+		return h[a].startNs < h[b].startNs
+	}
+	return h[a].node < h[b].node
+}
+func (h waveHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *waveHeap) Push(x interface{}) { *h = append(*h, x.(waveEntry)) }
+func (h *waveHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// modelInfo caches the hardware-independent per-model quantities: the
+// built graph and the parameter staging transfer over the interconnect.
+// Per-hardware work predictions live in each NodeRuntime's own cache.
 type modelInfo struct {
 	graph  *graph.Graph
-	workNs float64
 	xferNs float64
 }
 
 // PlaceJobs admits the workload onto the cluster under the given options
 // and runs it to completion on one virtual cluster clock. Arrivals are
 // processed in (arrival time, input index) order; each arrival is placed by
-// the policy against the cluster's current state. A node that becomes free
-// gang-schedules its staged jobs — at most one per physical core — into a
-// co-run wave through multijob.CoTrain; the wave's per-job makespans land
-// back on the cluster clock. Execution is fully deterministic.
+// the policy against per-node hardware views. A node that becomes free
+// gang-schedules its staged jobs — up to its hardware's wave capacity —
+// into a co-run wave through its NodeRuntime; the wave's per-job makespans
+// land back on the cluster clock. Execution is fully deterministic.
 func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
@@ -54,8 +110,21 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("place: %w", err)
 	}
 	cfg := opts.config()
-	m := c.machine()
 	ic := c.interconnect()
+
+	graphs := make(map[string]*graph.Graph)
+	graphFor := func(model string) *graph.Graph {
+		if g, ok := graphs[model]; ok {
+			return g
+		}
+		g := nn.MustBuild(model).Graph
+		graphs[model] = g
+		return g
+	}
+
+	// One runtime per distinct hardware descriptor: nodes sharing a
+	// machine or device share its per-model work cache.
+	runtimes := buildRuntimes(c.nodeDescriptors(), arb, cfg, graphFor)
 
 	// Canonicalize the specs: resolved model spelling, defaulted names.
 	specs := make([]JobSpec, len(w))
@@ -70,12 +139,8 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 		if mi, ok := infos[model]; ok {
 			return mi
 		}
-		built := nn.MustBuild(model)
-		mi := &modelInfo{
-			graph:  built.Graph,
-			workNs: multijob.PredictedSoloWorkNs(m, built.Graph, cfg.Interval),
-			xferNs: ic.TransferNs(cluster.ParamBytes(built.Graph)),
-		}
+		g := graphFor(model)
+		mi := &modelInfo{graph: g, xferNs: ic.TransferNs(cluster.ParamBytes(g))}
 		infos[model] = mi
 		return mi
 	}
@@ -89,37 +154,40 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 		return specs[order[a]].ArrivalNs < specs[order[b]].ArrivalNs
 	})
 
-	nodes := make([]*nodeState, c.Nodes)
-	for i := range nodes {
-		nodes[i] = &nodeState{}
+	nodes := make([]*nodeState, len(runtimes))
+	for i, rt := range runtimes {
+		nodes[i] = &nodeState{rt: rt, minReadyNs: math.Inf(1)}
 	}
 	placed := make([]PlacedJob, len(specs))
+
+	// The wave-start min-heap indexes every node with staged jobs; stale
+	// entries (older version) are skipped on peek.
+	h := &waveHeap{}
+	push := func(i int) {
+		ns := nodes[i]
+		ns.version++
+		if len(ns.queue) == 0 {
+			return
+		}
+		heap.Push(h, waveEntry{startNs: ns.waveStartNs(), node: i, version: ns.version})
+	}
+	peek := func() (int, float64) {
+		for h.Len() > 0 {
+			e := (*h)[0]
+			if nodes[e.node].version != e.version {
+				heap.Pop(h)
+				continue
+			}
+			return e.node, e.startNs
+		}
+		return -1, math.Inf(1)
+	}
+
 	next := 0 // next arrival, as an index into order
 	done := 0
 
 	for done < len(specs) {
-		// Earliest wave start among nodes with staged jobs: a wave starts
-		// when the node is free and its earliest-staged job has arrived.
-		waveNode := -1
-		waveStart := math.Inf(1)
-		for i, ns := range nodes {
-			if len(ns.queue) == 0 {
-				continue
-			}
-			ready := math.Inf(1)
-			for _, ji := range ns.queue {
-				if placed[ji].ReadyNs < ready {
-					ready = placed[ji].ReadyNs
-				}
-			}
-			t := ns.freeNs
-			if ready > t {
-				t = ready
-			}
-			if t < waveStart {
-				waveNode, waveStart = i, t
-			}
-		}
+		waveNode, waveStart := peek()
 
 		// Arrivals strictly before — and exactly at — the next wave start
 		// are placed first, so a job arriving as a node frees can still
@@ -130,47 +198,49 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 				next++
 				sp := specs[ji]
 				mi := info(sp.Model)
-				n := pol.Pick(sp, mi.workNs, at, views(nodes, specs, placed, info, m, at))
+				n := pol.Pick(sp, at, views(nodes, sp.Model, at))
 				if n < 0 || n >= len(nodes) {
 					return nil, fmt.Errorf("place: policy %q placed job %s on node %d of a %d-node cluster",
 						pol.Name(), sp.Name, n, len(nodes))
 				}
+				ns := nodes[n]
 				placed[ji] = PlacedJob{
-					Name: sp.Name, Model: sp.Model, Node: n,
+					Name: sp.Name, Model: sp.Model, Node: n, Kind: ns.rt.Kind(),
 					ArrivalNs: at, TransferNs: mi.xferNs, ReadyNs: at + mi.xferNs,
 					DeadlineNs: sp.DeadlineNs,
 				}
-				nodes[n].queue = append(nodes[n].queue, ji)
+				ns.queue = append(ns.queue, ji)
+				ns.queuedWorkNs += ns.rt.SoloWorkNs(sp.Model)
+				if r := placed[ji].ReadyNs; r < ns.minReadyNs {
+					ns.minReadyNs = r
+				}
+				push(n)
 				continue
 			}
 		}
 		if waveNode < 0 {
 			return nil, fmt.Errorf("place: stalled with %d of %d jobs done and no runnable wave", done, len(specs))
 		}
+		heap.Pop(h) // consume the peeked (valid) entry
 
-		// Launch the wave: staged-and-ready jobs in placement order, at
-		// most one per physical core.
+		// Launch the wave: staged-and-ready jobs in placement order, up to
+		// the node's wave capacity.
 		ns := nodes[waveNode]
+		capacity := ns.rt.Capacity()
 		var admit, rest []int
 		for _, ji := range ns.queue {
-			if len(admit) < m.Cores && placed[ji].ReadyNs <= waveStart {
+			if len(admit) < capacity && placed[ji].ReadyNs <= waveStart {
 				admit = append(admit, ji)
 			} else {
 				rest = append(rest, ji)
 			}
 		}
-		jobs := make([]multijob.Job, len(admit))
+		jobs := make([]WaveJob, len(admit))
 		for k, ji := range admit {
 			sp := specs[ji]
-			job, err := multijob.RuntimeJob(sp.Name, info(sp.Model).graph, m, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("place: job %s: %w", sp.Name, err)
-			}
-			job.Priority = sp.Priority
-			job.Weight = sp.Weight
-			jobs[k] = job
+			jobs[k] = WaveJob{Name: sp.Name, Model: sp.Model, Priority: sp.Priority, Weight: sp.Weight}
 		}
-		res, err := multijob.CoTrain(jobs, arb, multijob.Options{Machine: m})
+		res, err := ns.rt.RunWave(jobs)
 		if err != nil {
 			return nil, fmt.Errorf("place: wave %d on node %d: %w", ns.waves, waveNode, err)
 		}
@@ -190,38 +260,79 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 			p.DeadlineMet = p.DeadlineNs > 0 && p.FinishNs <= p.DeadlineNs
 		}
 		ns.queue = rest
+		ns.queuedWorkNs, ns.minReadyNs = 0, math.Inf(1)
+		for _, ji := range rest {
+			ns.queuedWorkNs += ns.rt.SoloWorkNs(specs[ji].Model)
+			if r := placed[ji].ReadyNs; r < ns.minReadyNs {
+				ns.minReadyNs = r
+			}
+		}
 		ns.waves++
 		ns.jobs += len(admit)
 		ns.resident = len(admit)
 		ns.busyNs += res.TotalNs
 		ns.freeNs = waveStart + res.TotalNs
+		push(waveNode)
 		done += len(admit)
 	}
 
 	out := &Result{
-		Policy: pol.Name(), Arbiter: arb.Name(), Nodes: c.Nodes,
-		Machine: m.String(), Jobs: placed,
+		Policy: pol.Name(), Arbiter: arb.Name(), Nodes: len(nodes),
+		Fleet: fleetDescription(runtimes), Jobs: placed,
 	}
 	for i, ns := range nodes {
 		out.NodeStats = append(out.NodeStats, NodeStats{
-			Node: i, Jobs: ns.jobs, Waves: ns.waves, BusyNs: ns.busyNs,
+			Node: i, Kind: ns.rt.Kind(), Hardware: ns.rt.Hardware(),
+			Jobs: ns.jobs, Waves: ns.waves, BusyNs: ns.busyNs,
 		})
 	}
 	out.finalize()
 	return out, nil
 }
 
-// views snapshots every node for a policy decision at nowNs.
-func views(nodes []*nodeState, specs []JobSpec, placed []PlacedJob,
-	info func(string) *modelInfo, m *hw.Machine, nowNs float64) []NodeView {
+// buildRuntimes resolves every node descriptor to its NodeRuntime, sharing
+// one runtime (and its per-model work cache) across nodes with the same
+// hardware descriptor.
+func buildRuntimes(descs []Node, arb multijob.Arbiter, cfg core.Config, graphFor func(string) *graph.Graph) []NodeRuntime {
+	cpus := make(map[*hw.Machine]*cpuRuntime)
+	gpus := make(map[*gpu.Device]*gpuRuntime)
+	rts := make([]NodeRuntime, len(descs))
+	for i, d := range descs {
+		if d.GPU != nil {
+			rt, ok := gpus[d.GPU]
+			if !ok {
+				rt = &gpuRuntime{d: d.GPU, graphFor: graphFor, work: make(map[string]gpu.GraphWork)}
+				gpus[d.GPU] = rt
+			}
+			rts[i] = rt
+			continue
+		}
+		rt, ok := cpus[d.CPU]
+		if !ok {
+			rt = &cpuRuntime{m: d.CPU, arb: arb, cfg: cfg, graphFor: graphFor, work: make(map[string]float64)}
+			cpus[d.CPU] = rt
+		}
+		rts[i] = rt
+	}
+	return rts
+}
+
+// views snapshots every node for a policy decision at nowNs: per-node
+// hardware kind and capacity, the queued work priced on that hardware
+// (maintained incrementally, not rescanned), and the arriving model's
+// predicted solo work on that hardware.
+func views(nodes []*nodeState, model string, nowNs float64) []NodeView {
 	vs := make([]NodeView, len(nodes))
 	for i, ns := range nodes {
-		v := NodeView{Index: i, Cores: m.Cores, FreeNs: ns.freeNs, Queued: len(ns.queue)}
+		v := NodeView{
+			Index: i, Kind: ns.rt.Kind(), Capacity: ns.rt.Capacity(),
+			FreeNs: ns.freeNs, Queued: len(ns.queue),
+			QueuedWorkNs: ns.queuedWorkNs,
+			JobWorkNs:    ns.rt.SoloWorkNs(model),
+			Alpha:        ns.rt.WaveAlpha(),
+		}
 		if ns.freeNs > nowNs {
 			v.Resident = ns.resident
-		}
-		for _, ji := range ns.queue {
-			v.QueuedWorkNs += info(specs[ji].Model).workNs
 		}
 		vs[i] = v
 	}

@@ -1,0 +1,205 @@
+package place
+
+import (
+	"fmt"
+
+	"opsched/internal/core"
+	"opsched/internal/gpu"
+	"opsched/internal/graph"
+	"opsched/internal/hw"
+	"opsched/internal/multijob"
+)
+
+// Node describes one cluster node's hardware: exactly one of CPU (a
+// manycore machine running jobs through the multi-job engine) or GPU (a
+// device co-running jobs on streams) must be set.
+type Node struct {
+	// CPU is the node's manycore machine model, or nil.
+	CPU *hw.Machine
+	// GPU is the node's GPU device model, or nil.
+	GPU *gpu.Device
+}
+
+// Kind reports the node's hardware kind, "cpu" or "gpu".
+func (n Node) Kind() string {
+	if n.GPU != nil {
+		return KindGPU
+	}
+	return KindCPU
+}
+
+// Validate rejects descriptors with neither or both hardware models, or an
+// inconsistent model.
+func (n Node) Validate() error {
+	switch {
+	case n.CPU == nil && n.GPU == nil:
+		return fmt.Errorf("place: node needs a CPU machine or a GPU device")
+	case n.CPU != nil && n.GPU != nil:
+		return fmt.Errorf("place: node cannot carry both a CPU machine and a GPU device")
+	case n.CPU != nil:
+		if err := n.CPU.Validate(); err != nil {
+			return fmt.Errorf("place: node machine: %w", err)
+		}
+	default:
+		if err := n.GPU.Validate(); err != nil {
+			return fmt.Errorf("place: node device: %w", err)
+		}
+	}
+	return nil
+}
+
+// Hardware kinds a Node (and its NodeView) reports.
+const (
+	KindCPU = "cpu"
+	KindGPU = "gpu"
+)
+
+// WaveJob is one resident job entering a gang-scheduled wave.
+type WaveJob struct {
+	// Name and Model identify the job; Model is canonical (nn.Resolve).
+	Name  string
+	Model string
+	// Priority and Weight feed the CPU arbiter; GPU streams share the
+	// device equally and ignore both.
+	Priority int
+	Weight   float64
+}
+
+// WaveJobResult is one job's outcome inside a wave.
+type WaveJobResult struct {
+	// SoloNs is the job's makespan alone on this node's hardware;
+	// MakespanNs its makespan inside the wave; Slowdown the ratio (>= 1).
+	SoloNs     float64
+	MakespanNs float64
+	Slowdown   float64
+}
+
+// WaveResult is the outcome of gang-running one wave on a node.
+type WaveResult struct {
+	// TotalNs is the wave makespan (the last job's finish).
+	TotalNs float64
+	// Jobs holds per-job outcomes in wave input order.
+	Jobs []WaveJobResult
+}
+
+// NodeRuntime abstracts one node's hardware behind the three questions the
+// placement engine asks: how many jobs fit a gang wave, what would one job
+// of a model cost alone here, and what does a wave of resident jobs
+// actually cost. A CPU node answers through the multi-job co-scheduling
+// engine; a GPU node through the occupancy/stream co-run model. Both
+// implementations are deterministic and stateless across waves, so nodes
+// sharing one hardware descriptor share one runtime (and its per-model
+// work cache).
+type NodeRuntime interface {
+	// Kind is the hardware kind, KindCPU or KindGPU.
+	Kind() string
+	// Hardware describes the node's hardware for reports.
+	Hardware() string
+	// Capacity is the maximum number of jobs one gang wave may co-run:
+	// physical cores on a CPU node, streams on a GPU node.
+	Capacity() int
+	// WaveAlpha is the per-co-runner finish-time inflation the
+	// model-aware policy prices a resident job at on this hardware.
+	WaveAlpha() float64
+	// SoloWorkNs is the predicted execution time of one job of the
+	// canonical model alone on this node's hardware.
+	SoloWorkNs(model string) float64
+	// RunWave gang-simulates the wave and reports per-job outcomes in
+	// input order. All jobs launch at wave-relative time zero.
+	RunWave(jobs []WaveJob) (*WaveResult, error)
+}
+
+// cpuRuntime runs waves through multijob.CoTrain: per-job runtime
+// schedulers under a cross-job arbiter, contention priced over the union
+// of in-flight operations — the identical-node behaviour the engine had
+// before heterogeneous clusters.
+type cpuRuntime struct {
+	m        *hw.Machine
+	arb      multijob.Arbiter
+	cfg      core.Config
+	graphFor func(string) *graph.Graph
+	work     map[string]float64
+}
+
+// cpuMeshAlpha mirrors the exec engine's pinned mesh-interference
+// constant: each additional co-runner costs roughly this fraction of
+// throughput on a manycore node.
+const cpuMeshAlpha = 0.22
+
+func (c *cpuRuntime) Kind() string       { return KindCPU }
+func (c *cpuRuntime) Hardware() string   { return c.m.String() }
+func (c *cpuRuntime) Capacity() int      { return c.m.Cores }
+func (c *cpuRuntime) WaveAlpha() float64 { return cpuMeshAlpha }
+
+func (c *cpuRuntime) SoloWorkNs(model string) float64 {
+	if w, ok := c.work[model]; ok {
+		return w
+	}
+	w := multijob.PredictedSoloWorkNs(c.m, c.graphFor(model), c.cfg.Interval)
+	c.work[model] = w
+	return w
+}
+
+func (c *cpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
+	mj := make([]multijob.Job, len(jobs))
+	for i, wj := range jobs {
+		job, err := multijob.RuntimeJob(wj.Name, c.graphFor(wj.Model), c.m, c.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("place: job %s: %w", wj.Name, err)
+		}
+		job.Priority = wj.Priority
+		job.Weight = wj.Weight
+		mj[i] = job
+	}
+	res, err := multijob.CoTrain(mj, c.arb, multijob.Options{Machine: c.m})
+	if err != nil {
+		return nil, err
+	}
+	out := &WaveResult{TotalNs: res.TotalNs, Jobs: make([]WaveJobResult, len(jobs))}
+	for i, jr := range res.Jobs {
+		out.Jobs[i] = WaveJobResult{SoloNs: jr.SoloNs, MakespanNs: jr.MakespanNs, Slowdown: jr.Slowdown}
+	}
+	return out, nil
+}
+
+// gpuRuntime runs waves through the gpu occupancy/stream model: each
+// resident job owns one stream, the fluid co-run simulation prices their
+// mutual interference, and capacity is the device's stream count. Arbiter
+// priorities and weights do not apply — streams share the device equally.
+type gpuRuntime struct {
+	d        *gpu.Device
+	graphFor func(string) *graph.Graph
+	work     map[string]gpu.GraphWork
+}
+
+func (g *gpuRuntime) Kind() string       { return KindGPU }
+func (g *gpuRuntime) Hardware() string   { return g.d.String() }
+func (g *gpuRuntime) Capacity() int      { return g.d.StreamCapacity() }
+func (g *gpuRuntime) WaveAlpha() float64 { return g.d.CoRunAlpha() }
+
+func (g *gpuRuntime) graphWork(model string) gpu.GraphWork {
+	if w, ok := g.work[model]; ok {
+		return w
+	}
+	w := g.d.PredictGraphWork(g.graphFor(model))
+	g.work[model] = w
+	return w
+}
+
+func (g *gpuRuntime) SoloWorkNs(model string) float64 { return g.graphWork(model).SoloNs }
+
+func (g *gpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
+	works := make([]gpu.GraphWork, len(jobs))
+	for i, wj := range jobs {
+		works[i] = g.graphWork(wj.Model)
+	}
+	outs, total, err := g.d.CoRunWave(works)
+	if err != nil {
+		return nil, fmt.Errorf("place: %w", err)
+	}
+	out := &WaveResult{TotalNs: total, Jobs: make([]WaveJobResult, len(jobs))}
+	for i, o := range outs {
+		out.Jobs[i] = WaveJobResult{SoloNs: works[i].SoloNs, MakespanNs: o.MakespanNs, Slowdown: o.Slowdown}
+	}
+	return out, nil
+}

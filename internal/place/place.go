@@ -1,9 +1,11 @@
 // Package place is the cluster-scale job placement engine: it admits a
 // workload of training jobs — each with an arrival time, a model, a
-// priority and an optional deadline — onto a cluster of identical
-// hw.Machine nodes connected by a cluster.Interconnect, and reports per-job
-// completion time, queueing delay and slowdown versus running alone, plus
-// cluster-wide makespan, utilization and fairness.
+// priority and an optional deadline — onto a heterogeneous cluster of
+// per-node hardware descriptors (manycore hw.Machine nodes and gpu.Device
+// nodes, freely mixed) connected by a cluster.Interconnect, and reports
+// per-job completion time, queueing delay and slowdown versus running
+// alone on the hardware it landed on, plus cluster-wide makespan,
+// utilization and fairness.
 //
 // The paper's §V argues (as unevaluated future work) that its runtime
 // scales across nodes; the multi-tenant DNN scheduling literature (Yu et
@@ -12,22 +14,25 @@
 // subsystems into that scenario:
 //
 //   - a pluggable placement Policy (binpack, spread, or model-aware over
-//     perfmodel work predictions) picks a node for every arriving job;
-//   - each node runs its resident job set through the multijob engine —
-//     per-job runtime schedulers under a cross-job arbiter, contention
-//     priced over the union of in-flight operations;
+//     per-hardware work predictions) picks a node for every arriving job;
+//   - each node answers through its NodeRuntime: a CPU node runs its
+//     resident job set through the multijob engine — per-job runtime
+//     schedulers under a cross-job arbiter, contention priced over the
+//     union of in-flight operations — while a GPU node co-runs one job
+//     per stream through the gpu occupancy/stream model;
 //   - the cluster.Interconnect prices the parameter transfer that stages a
 //     job on its node before it may start;
 //   - the whole simulation advances on one virtual cluster clock.
 //
 // Execution model: nodes gang-schedule in waves. A node that becomes free
-// gathers every staged job in its queue (up to one job per physical core —
-// each co-run job needs at least one core, so a wave never exceeds the
-// node's core capacity) and co-runs them to completion through
-// multijob.CoTrain; jobs arriving mid-wave wait for the next wave. Cluster
-// events — job arrivals and wave completions — are processed in virtual
-// time order with deterministic tie-breaking (arrivals first, then lower
-// node index), so identical inputs always produce byte-identical reports.
+// gathers every staged job in its queue up to its hardware's wave capacity
+// (one job per physical core on a CPU node, one per stream on a GPU node)
+// and co-runs them to completion through its NodeRuntime; jobs arriving
+// mid-wave wait for the next wave. Cluster events — job arrivals and wave
+// completions — are processed in virtual time order with deterministic
+// tie-breaking (arrivals first, then lower node index; the next wave start
+// is read from a min-heap over nodes, not a per-event scan), so identical
+// inputs always produce byte-identical reports.
 package place
 
 import (
@@ -37,6 +42,7 @@ import (
 
 	"opsched/internal/cluster"
 	"opsched/internal/core"
+	"opsched/internal/gpu"
 	"opsched/internal/hw"
 	"opsched/internal/nn"
 )
@@ -100,26 +106,50 @@ func (w Workload) Validate() error {
 	return nil
 }
 
-// Cluster describes the hardware the workload is placed onto: identical
-// nodes joined by an interconnect.
+// Cluster describes the hardware the workload is placed onto: a fleet of
+// per-node hardware descriptors — CPU machines and GPU devices, freely
+// mixed — joined by an interconnect. Either give the fleet explicitly
+// through NodeList, or count it: Nodes CPU nodes (all sharing Machine)
+// followed by GPUs GPU nodes (all sharing GPU).
 type Cluster struct {
-	// Nodes is the number of nodes; must be positive.
+	// Nodes is the number of CPU nodes when NodeList is empty.
 	Nodes int
-	// Machine is the per-node hardware model; nil means hw.NewKNL().
+	// Machine is the CPU-node hardware model; nil means hw.NewKNL().
 	Machine *hw.Machine
+	// GPUs is the number of GPU nodes appended after the CPU nodes when
+	// NodeList is empty.
+	GPUs int
+	// GPU is the GPU-node device model; nil means gpu.NewP100().
+	GPU *gpu.Device
+	// NodeList is the explicit heterogeneous fleet, in node-index order;
+	// when non-empty it overrides Nodes/Machine/GPUs/GPU.
+	NodeList []Node
 	// Interconnect joins the nodes; nil means cluster.NewAries().
 	Interconnect *cluster.Interconnect
 }
 
-// Validate rejects cluster descriptions with zero nodes, an inconsistent
-// machine model, or a degenerate interconnect.
+// Validate rejects cluster descriptions with no nodes, an inconsistent
+// hardware model, or a degenerate interconnect.
 func (c Cluster) Validate() error {
-	if c.Nodes <= 0 {
-		return fmt.Errorf("place: cluster needs at least one node, got %d", c.Nodes)
-	}
-	if c.Machine != nil {
-		if err := c.Machine.Validate(); err != nil {
-			return fmt.Errorf("place: node machine: %w", err)
+	if len(c.NodeList) > 0 {
+		for i, n := range c.NodeList {
+			if err := n.Validate(); err != nil {
+				return fmt.Errorf("place: node %d: %w", i, err)
+			}
+		}
+	} else {
+		if c.Nodes < 0 || c.GPUs < 0 || c.Nodes+c.GPUs < 1 {
+			return fmt.Errorf("place: cluster needs at least one node, got %d CPU + %d GPU", c.Nodes, c.GPUs)
+		}
+		if c.Machine != nil {
+			if err := c.Machine.Validate(); err != nil {
+				return fmt.Errorf("place: node machine: %w", err)
+			}
+		}
+		if c.GPU != nil {
+			if err := c.GPU.Validate(); err != nil {
+				return fmt.Errorf("place: node device: %w", err)
+			}
 		}
 	}
 	if ic := c.Interconnect; ic != nil {
@@ -133,11 +163,28 @@ func (c Cluster) Validate() error {
 	return nil
 }
 
-func (c Cluster) machine() *hw.Machine {
-	if c.Machine == nil {
-		return hw.NewKNL()
+// nodeDescriptors expands the cluster into its per-node hardware
+// descriptor slice, CPU nodes before GPU nodes in the counted form.
+func (c Cluster) nodeDescriptors() []Node {
+	if len(c.NodeList) > 0 {
+		return c.NodeList
 	}
-	return c.Machine
+	m := c.Machine
+	if m == nil {
+		m = hw.NewKNL()
+	}
+	d := c.GPU
+	if d == nil {
+		d = gpu.NewP100()
+	}
+	nodes := make([]Node, 0, c.Nodes+c.GPUs)
+	for i := 0; i < c.Nodes; i++ {
+		nodes = append(nodes, Node{CPU: m})
+	}
+	for i := 0; i < c.GPUs; i++ {
+		nodes = append(nodes, Node{GPU: d})
+	}
+	return nodes
 }
 
 func (c Cluster) interconnect() *cluster.Interconnect {
@@ -145,6 +192,24 @@ func (c Cluster) interconnect() *cluster.Interconnect {
 		return cluster.NewAries()
 	}
 	return c.Interconnect
+}
+
+// fleetDescription renders the fleet compactly, grouping consecutive runs
+// of identical hardware: "4×machine{...}" or "2×machine{...} + 2×gpu{...}".
+func fleetDescription(rts []NodeRuntime) string {
+	var b strings.Builder
+	for i := 0; i < len(rts); {
+		j := i
+		for j < len(rts) && rts[j].Hardware() == rts[i].Hardware() {
+			j++
+		}
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%d×%s", j-i, rts[i].Hardware())
+		i = j
+	}
+	return b.String()
 }
 
 // Options configure a placement run.
@@ -186,9 +251,11 @@ type PlacedJob struct {
 	// Name and Model identify the job.
 	Name  string
 	Model string
-	// Node is the node index the job was placed on; Wave is the 0-based
-	// ordinal of the co-run wave that executed it on that node.
+	// Node is the node index the job was placed on; Kind is that node's
+	// hardware kind (KindCPU or KindGPU); Wave is the 0-based ordinal of
+	// the co-run wave that executed it on that node.
 	Node int
+	Kind string
 	Wave int
 	// ArrivalNs is the submission time; ReadyNs adds the parameter
 	// transfer that stages the job on its node.
@@ -221,8 +288,11 @@ func (p PlacedJob) JCTNs() float64 { return p.FinishNs - p.ArrivalNs }
 
 // NodeStats summarizes one node's share of the run.
 type NodeStats struct {
-	// Node is the node index.
-	Node int
+	// Node is the node index; Kind its hardware kind (KindCPU or
+	// KindGPU); Hardware the full hardware description.
+	Node     int
+	Kind     string
+	Hardware string
 	// Jobs and Waves count the jobs executed and the co-run waves that
 	// executed them.
 	Jobs  int
@@ -235,11 +305,13 @@ type NodeStats struct {
 
 // Result is the outcome of placing a workload onto a cluster.
 type Result struct {
-	// Policy, Arbiter, Nodes and Machine name the configuration.
+	// Policy, Arbiter and Nodes name the configuration; Fleet describes
+	// the per-node hardware, grouping identical nodes ("2×machine{...} +
+	// 2×gpu{...}").
 	Policy  string
 	Arbiter string
 	Nodes   int
-	Machine string
+	Fleet   string
 	// MakespanNs is the last job's finish time on the cluster clock.
 	MakespanNs float64
 	// MeanJCTNs, MaxJCTNs and MeanQueueNs aggregate the per-job outcomes.
@@ -313,6 +385,9 @@ func (r *Result) finalize() {
 
 // Render formats the result as a deterministic report table: byte-identical
 // output for identical inputs, whatever parallelism produced the Result.
+// Column widths adapt to the content — node indices stay aligned past two
+// digits — and every job row and node line carries the node's hardware
+// kind.
 func (r *Result) Render() string {
 	nameW, modelW := len("job"), len("model")
 	for _, p := range r.Jobs {
@@ -323,11 +398,21 @@ func (r *Result) Render() string {
 			modelW = len(p.Model)
 		}
 	}
+	nodeW := len("node")
+	if w := len(fmt.Sprintf("%d", r.Nodes-1)); w > nodeW {
+		nodeW = w
+	}
+	waveW := len("wave")
+	for _, p := range r.Jobs {
+		if w := len(fmt.Sprintf("%d", p.Wave)); w > waveW {
+			waveW = w
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "placement: %d jobs over %d nodes, policy=%s, arbiter=%s, node=%s\n",
-		len(r.Jobs), r.Nodes, r.Policy, r.Arbiter, r.Machine)
-	fmt.Fprintf(&b, "  %-*s  %-*s  %4s  %4s  %10s  %10s  %10s  %10s  %8s  %8s\n",
-		nameW, "job", modelW, "model", "node", "wave",
+	fmt.Fprintf(&b, "placement: %d jobs over %d nodes, policy=%s, arbiter=%s, fleet=%s\n",
+		len(r.Jobs), r.Nodes, r.Policy, r.Arbiter, r.Fleet)
+	fmt.Fprintf(&b, "  %-*s  %-*s  %*s  %-3s  %*s  %10s  %10s  %10s  %10s  %8s  %8s\n",
+		nameW, "job", modelW, "model", nodeW, "node", "hw", waveW, "wave",
 		"arrive(ms)", "queue(ms)", "corun(ms)", "jct(ms)", "slowdown", "deadline")
 	for _, p := range r.Jobs {
 		deadline := "-"
@@ -338,13 +423,14 @@ func (r *Result) Render() string {
 				deadline = "MISS"
 			}
 		}
-		fmt.Fprintf(&b, "  %-*s  %-*s  %4d  %4d  %10.3f  %10.3f  %10.3f  %10.3f  %7.2fx  %8s\n",
-			nameW, p.Name, modelW, p.Model, p.Node, p.Wave,
+		fmt.Fprintf(&b, "  %-*s  %-*s  %*d  %-3s  %*d  %10.3f  %10.3f  %10.3f  %10.3f  %7.2fx  %8s\n",
+			nameW, p.Name, modelW, p.Model, nodeW, p.Node, p.Kind, waveW, p.Wave,
 			p.ArrivalNs/1e6, p.QueueNs/1e6, p.CoRunNs/1e6, p.JCTNs()/1e6, p.Slowdown, deadline)
 	}
+	idxW := len(fmt.Sprintf("%d", r.Nodes-1))
 	for _, ns := range r.NodeStats {
-		fmt.Fprintf(&b, "  node %d: %d jobs in %d waves, busy %.3f ms, util %.2f\n",
-			ns.Node, ns.Jobs, ns.Waves, ns.BusyNs/1e6, ns.Utilization)
+		fmt.Fprintf(&b, "  node %*d [%s]: %d jobs in %d waves, busy %.3f ms, util %.2f\n",
+			idxW, ns.Node, ns.Kind, ns.Jobs, ns.Waves, ns.BusyNs/1e6, ns.Utilization)
 	}
 	fmt.Fprintf(&b, "makespan %.3f ms, mean jct %.3f ms, mean queue %.3f ms, fairness %.3f (Jain, solo-normalized)",
 		r.MakespanNs/1e6, r.MeanJCTNs/1e6, r.MeanQueueNs/1e6, r.FairnessIndex)

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"opsched/internal/cluster"
+	"opsched/internal/core"
+	"opsched/internal/gpu"
 	"opsched/internal/hw"
 	"opsched/internal/nn"
 )
@@ -46,7 +48,13 @@ func TestValidationErrors(t *testing.T) {
 			Options{}, "deadline"},
 		{"zero nodes", good, Cluster{Nodes: 0}, Options{}, "at least one node"},
 		{"negative nodes", good, Cluster{Nodes: -3}, Options{}, "at least one node"},
+		{"negative gpus", good, Cluster{Nodes: 1, GPUs: -1}, Options{}, "at least one node"},
 		{"bad machine", good, Cluster{Nodes: 1, Machine: badMachine}, Options{}, "Cores"},
+		{"bad device", good, Cluster{GPUs: 1, GPU: &gpu.Device{}}, Options{}, "SMs"},
+		{"empty node descriptor", good, Cluster{NodeList: []Node{{}}}, Options{}, "CPU machine or a GPU device"},
+		{"double node descriptor", good,
+			Cluster{NodeList: []Node{{CPU: hw.NewKNL(), GPU: gpu.NewP100()}}},
+			Options{}, "both"},
 		{"bad interconnect bandwidth", good,
 			Cluster{Nodes: 1, Interconnect: &cluster.Interconnect{BWBytesNs: 0, LatencyNs: 1}},
 			Options{}, "bandwidth"},
@@ -211,6 +219,121 @@ func TestPolicyShapes(t *testing.T) {
 	}
 }
 
+// TestNodeDescriptor: Kind and Validate cover both hardware kinds and the
+// degenerate descriptors.
+func TestNodeDescriptor(t *testing.T) {
+	cpu := Node{CPU: hw.NewKNL()}
+	gpuNode := Node{GPU: gpu.NewP100()}
+	if cpu.Kind() != KindCPU || gpuNode.Kind() != KindGPU {
+		t.Errorf("kinds %q/%q, want cpu/gpu", cpu.Kind(), gpuNode.Kind())
+	}
+	if err := cpu.Validate(); err != nil {
+		t.Errorf("CPU node invalid: %v", err)
+	}
+	if err := gpuNode.Validate(); err != nil {
+		t.Errorf("GPU node invalid: %v", err)
+	}
+	badCPU := hw.NewKNL()
+	badCPU.Cores = -1
+	if err := (Node{CPU: badCPU}).Validate(); err == nil {
+		t.Error("broken CPU machine accepted")
+	}
+	if err := (Node{GPU: &gpu.Device{}}).Validate(); err == nil {
+		t.Error("broken GPU device accepted")
+	}
+}
+
+// TestModelAwareHeteroRouting is the headline heterogeneous behaviour: on
+// a mixed KNL + P100 fleet the model-aware policy routes the launch-bound
+// LSTM to the manycore node and the convolution-heavy DCGAN to the GPU —
+// each model lands on the hardware it scales best on — while the
+// hardware-blind policies cannot tell the nodes apart.
+func TestModelAwareHeteroRouting(t *testing.T) {
+	w := Workload{
+		{Model: "lstm", ArrivalNs: 0},
+		{Model: "dcgan", ArrivalNs: 0},
+		{Model: "lstm", ArrivalNs: 0},
+		{Model: "dcgan", ArrivalNs: 0},
+	}
+	res, err := PlaceJobs(w, Cluster{Nodes: 1, GPUs: 1}, Options{Policy: "model-aware"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Jobs {
+		want := KindCPU
+		if p.Model == nn.DCGAN {
+			want = KindGPU
+		}
+		if p.Kind != want {
+			t.Errorf("job %d (%s) landed on %s hardware, want %s", i, p.Model, p.Kind, want)
+		}
+	}
+	if !strings.Contains(res.Fleet, "machine{") || !strings.Contains(res.Fleet, "gpu{") {
+		t.Errorf("fleet description %q does not name both hardware kinds", res.Fleet)
+	}
+	r := res.Render()
+	for _, want := range []string{"fleet=", "[cpu]", "[gpu]", " hw ", " cpu ", " gpu "} {
+		if !strings.Contains(r, want) {
+			t.Errorf("render missing %q:\n%s", want, r)
+		}
+	}
+	// GPU capacity is streams, not cores: a stream-capacity wave holds the
+	// whole DCGAN pair at once on one device.
+	gpuStats := res.NodeStats[1]
+	if gpuStats.Kind != KindGPU || gpuStats.Jobs != 2 || gpuStats.Waves != 1 {
+		t.Errorf("GPU node stats %+v, want both DCGANs in one wave", gpuStats)
+	}
+}
+
+// TestRenderAlignment: with a two-digit node count every job row pads to
+// one shared width and the node stat lines keep their index column
+// aligned — the report stays a table, not a ragged list.
+func TestRenderAlignment(t *testing.T) {
+	r := &Result{
+		Policy: "spread", Arbiter: "fair", Nodes: 12, Fleet: "12×machine{x}",
+	}
+	for i := 0; i < 12; i++ {
+		kind := KindCPU
+		if i >= 6 {
+			kind = KindGPU
+		}
+		r.Jobs = append(r.Jobs, PlacedJob{
+			Name: "j", Model: "m", Node: i, Kind: kind, Wave: i,
+			ArrivalNs: 1e6, FinishNs: 2e6, SoloNs: 1e6, CoRunNs: 1e6,
+			CoRunSlowdown: 1, Slowdown: 1,
+		})
+		r.NodeStats = append(r.NodeStats, NodeStats{Node: i, Kind: kind, Hardware: "x", Jobs: 1, Waves: 1})
+	}
+	r.finalize()
+	lines := strings.Split(strings.TrimRight(r.Render(), "\n"), "\n")
+	var jobLens []int
+	for _, l := range lines[1 : 1+1+12] { // header + 12 job rows
+		jobLens = append(jobLens, len(l))
+	}
+	for i, n := range jobLens {
+		if n != jobLens[0] {
+			t.Errorf("job row %d has width %d, want %d (misaligned at two-digit nodes):\n%s",
+				i, n, jobLens[0], r.Render())
+			break
+		}
+	}
+	var bracketCols []int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "  node ") {
+			bracketCols = append(bracketCols, strings.Index(l, "["))
+		}
+	}
+	if len(bracketCols) != 12 {
+		t.Fatalf("got %d node stat lines, want 12", len(bracketCols))
+	}
+	for i, c := range bracketCols {
+		if c != bracketCols[0] {
+			t.Errorf("node line %d kind column at %d, want %d:\n%s", i, c, bracketCols[0], r.Render())
+			break
+		}
+	}
+}
+
 // TestSingleNodeDegeneratesToCoTrain: on a one-node cluster every policy
 // produces the same placement (node 0), and simultaneous arrivals join one
 // wave.
@@ -245,4 +368,40 @@ func TestSingleNodeDegeneratesToCoTrain(t *testing.T) {
 				Policies()[i], renders[i], renders[0])
 		}
 	}
+}
+
+// TestExplicitOptionsAndInterconnect: a run with every option set — custom
+// interconnect, explicit runtime config, explicit arbiter — honours them
+// (a slower fabric stretches staging transfers).
+func TestExplicitOptionsAndInterconnect(t *testing.T) {
+	w := lstmStream(2)
+	cfg := core.Strategies12()
+	slow := &cluster.Interconnect{BWBytesNs: 0.5, LatencyNs: 3000}
+	res, err := PlaceJobs(w, Cluster{Nodes: 1, Interconnect: slow},
+		Options{Policy: "binpack", Arbiter: "srwf", Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arbiter != "srwf" {
+		t.Errorf("arbiter %q, want srwf", res.Arbiter)
+	}
+	fast, err := PlaceJobs(w, Cluster{Nodes: 1}, Options{Policy: "binpack", Arbiter: "srwf", Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].TransferNs <= fast.Jobs[0].TransferNs {
+		t.Errorf("slow fabric stages in %v, not above the default's %v",
+			res.Jobs[0].TransferNs, fast.Jobs[0].TransferNs)
+	}
+}
+
+// TestMustSyntheticPanics: the panic constructor actually panics on bad
+// input instead of returning a half-built workload.
+func TestMustSyntheticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSynthetic(0, ...) did not panic")
+		}
+	}()
+	MustSynthetic(0, 1, nil, 0)
 }

@@ -3,10 +3,16 @@ package place
 import "fmt"
 
 // NodeView is the read-only snapshot of one node a placement policy ranks.
+// Heterogeneous fleets surface per-hardware quantities: the same arriving
+// job carries a different JobWorkNs on a CPU view than on a GPU view, and
+// capacity counts cores on one and streams on the other.
 type NodeView struct {
-	// Index is the node's cluster index; Cores its physical core count.
-	Index int
-	Cores int
+	// Index is the node's cluster index; Kind its hardware kind (KindCPU
+	// or KindGPU); Capacity the maximum jobs one gang wave may co-run
+	// (physical cores on a CPU node, streams on a GPU node).
+	Index    int
+	Kind     string
+	Capacity int
 	// FreeNs is when the node's in-flight co-run wave completes; a value
 	// at or before the arrival time means the node is idle.
 	FreeNs float64
@@ -14,9 +20,16 @@ type NodeView struct {
 	// Queued counts jobs staged or staging behind it.
 	Resident int
 	Queued   int
-	// QueuedWorkNs is the perfmodel-predicted solo work of the queued
-	// jobs — what the model-aware policy ranks by.
+	// QueuedWorkNs is the predicted solo work of the queued jobs on THIS
+	// node's hardware; JobWorkNs the arriving job's predicted solo work
+	// here. Both come from the node's NodeRuntime (perfmodel hill-climb
+	// predictions on CPU nodes, the occupancy model on GPU nodes), so the
+	// model-aware policy genuinely compares node × hardware.
 	QueuedWorkNs float64
+	JobWorkNs    float64
+	// Alpha is the hardware's per-co-runner finish-time inflation (mesh
+	// interference on CPU, stream interference on GPU).
+	Alpha float64
 }
 
 // Load is the node's total job commitment: in-flight plus queued.
@@ -28,27 +41,28 @@ func (v NodeView) Load() int { return v.Resident + v.Queued }
 type Policy interface {
 	// Name identifies the policy in results and CLI flags.
 	Name() string
-	// Pick returns the node index in [0, len(nodes)) for a job arriving at
-	// nowNs whose perfmodel-predicted solo work is jobWorkNs. The nodes
-	// slice is ordered by index.
-	Pick(job JobSpec, jobWorkNs, nowNs float64, nodes []NodeView) int
+	// Pick returns the node index in [0, len(nodes)) for a job arriving
+	// at nowNs. The nodes slice is ordered by index and carries the job's
+	// predicted work per node hardware (NodeView.JobWorkNs).
+	Pick(job JobSpec, nowNs float64, nodes []NodeView) int
 }
 
 // BinPack consolidates: it places each job on the most-loaded node that
-// still has spare core capacity (every co-run job needs at least one
-// physical core, so a node "fits" while its job count is below its cores),
+// still has spare wave capacity (every co-run job needs one core or one
+// stream, so a node "fits" while its job count is below its capacity),
 // draining the cluster onto as few nodes as possible. When every node is at
-// capacity it falls back to the least-loaded node.
+// capacity it falls back to the least-loaded node. It is hardware-blind:
+// node index order decides ties, whatever the hardware.
 type BinPack struct{}
 
 // Name implements Policy.
 func (BinPack) Name() string { return "binpack" }
 
 // Pick implements Policy.
-func (BinPack) Pick(_ JobSpec, _ float64, _ float64, nodes []NodeView) int {
+func (BinPack) Pick(_ JobSpec, _ float64, nodes []NodeView) int {
 	best := -1
 	for _, v := range nodes {
-		if v.Load() >= v.Cores {
+		if v.Load() >= v.Capacity {
 			continue
 		}
 		if best < 0 || v.Load() > nodes[best].Load() {
@@ -63,45 +77,63 @@ func (BinPack) Pick(_ JobSpec, _ float64, _ float64, nodes []NodeView) int {
 
 // Spread balances: every job goes to the node with the fewest committed
 // jobs, ties on the lower index — the classic least-loaded heuristic that
-// ignores what the jobs actually are.
+// ignores what the jobs are and what hardware the nodes carry.
 type Spread struct{}
 
 // Name implements Policy.
 func (Spread) Name() string { return "spread" }
 
 // Pick implements Policy.
-func (Spread) Pick(_ JobSpec, _ float64, _ float64, nodes []NodeView) int {
+func (Spread) Pick(_ JobSpec, _ float64, nodes []NodeView) int {
 	return leastLoaded(nodes)
 }
 
-// ModelAware ranks nodes by the arriving job's predicted finish time: the
-// node's wave-completion time (or now, if idle) plus the queued work and
-// the job's own work, inflated by the machine model's mesh-interference
-// factor for the jobs it would co-run with. The work terms come from
-// perfmodel hill-climb predictions (multijob.PredictedSoloWorkNs), so a
-// short LSTM is not penalized for queueing behind another short job the
-// way a ResNet-50 would be. Nodes already at core capacity are considered
-// only when every node is full.
+// ModelAware ranks node × hardware by the arriving job's predicted finish
+// time under the engine's gang-wave execution model: the job joins the
+// node's next wave once the in-flight wave completes (or now, if idle) and
+// co-runs with everything committed there, so its finish is its own work
+// priced on that node's hardware, inflated by the hardware's per-co-runner
+// interference factor — plus a drain term when the queue overflows one
+// wave. The work terms come from perfmodel hill-climb predictions on CPU
+// nodes and the occupancy/stream model on GPU nodes, so a launch-bound
+// LSTM routes to the manycore node it scales best on while a
+// convolution-heavy DCGAN routes to the GPU; and a job is not penalized
+// for a node whose in-flight wave frees soon the way it is for one pinned
+// behind a long ResNet-50 wave. Nodes already at wave capacity are
+// considered only when every node is full.
 type ModelAware struct{}
 
 // Name implements Policy.
 func (ModelAware) Name() string { return "model-aware" }
 
-// meshAlpha mirrors the exec engine's pinned mesh-interference constant:
-// each additional co-runner costs roughly this fraction of throughput.
-const meshAlpha = 0.22
+// estimate is the predicted finish time of the arriving job on one node:
+// next-wave start, plus the job's own work on that hardware inflated by
+// the interference of the jobs it would co-run with, plus — only when the
+// commitment overflows one gang wave — the queued work draining at
+// capacity-wide throughput ahead of it.
+func (ModelAware) estimate(v NodeView, nowNs float64) float64 {
+	start := v.FreeNs
+	if start < nowNs {
+		start = nowNs
+	}
+	co := v.Load()
+	if co > v.Capacity-1 {
+		co = v.Capacity - 1
+	}
+	est := start + v.JobWorkNs*(1+v.Alpha*float64(co))
+	if v.Load() >= v.Capacity {
+		est += v.QueuedWorkNs / float64(v.Capacity)
+	}
+	return est
+}
 
 // Pick implements Policy.
-func (ModelAware) Pick(_ JobSpec, jobWorkNs, nowNs float64, nodes []NodeView) int {
+func (p ModelAware) Pick(_ JobSpec, nowNs float64, nodes []NodeView) int {
 	best, bestEst := -1, 0.0
 	full, fullEst := -1, 0.0
 	for _, v := range nodes {
-		start := v.FreeNs
-		if start < nowNs {
-			start = nowNs
-		}
-		est := start + (v.QueuedWorkNs+jobWorkNs)*(1+meshAlpha*float64(v.Load()))
-		if v.Load() >= v.Cores {
+		est := p.estimate(v, nowNs)
+		if v.Load() >= v.Capacity {
 			if full < 0 || est < fullEst {
 				full, fullEst = v.Index, est
 			}

@@ -7,6 +7,7 @@ import (
 
 	"opsched/internal/cluster"
 	"opsched/internal/core"
+	"opsched/internal/gpu"
 	"opsched/internal/hw"
 	"opsched/internal/nn"
 	"opsched/internal/place"
@@ -27,19 +28,27 @@ func DefaultClusterWorkloads() []NamedWorkload {
 	}
 }
 
-// ClusterGrid is a workload × policy × cluster-size sweep specification.
+// ClusterGrid is a workload × policy × node-mix sweep specification: the
+// node-mix axis crosses CPU node counts (Sizes) with GPU node counts
+// (GPUs), so one grid compares homogeneous and heterogeneous fleets.
 type ClusterGrid struct {
 	// Workloads to place; empty means DefaultClusterWorkloads.
 	Workloads []NamedWorkload
 	// Policies are placement policy names accepted by place.NewPolicy;
 	// empty means all built-in policies.
 	Policies []string
-	// Sizes are cluster node counts; empty means {1, 2, 4}.
+	// Sizes are CPU node counts; empty means {1, 2, 4}.
 	Sizes []int
+	// GPUs are GPU node counts crossed with every size; empty means {0}
+	// (CPU-only clusters). A cell with zero CPU nodes and a positive GPU
+	// count is a homogeneous GPU fleet.
+	GPUs []int
 	// Arbiter is the per-node cross-job policy; empty means "fair".
 	Arbiter string
-	// Machine is the per-node hardware model; nil means hw.NewKNL().
+	// Machine is the CPU-node hardware model; nil means hw.NewKNL().
 	Machine *hw.Machine
+	// GPU is the GPU-node device model; nil means gpu.NewP100().
+	GPU *gpu.Device
 	// Interconnect joins the nodes; nil means cluster.NewAries().
 	Interconnect *cluster.Interconnect
 	// Config is the per-job runtime configuration; nil means the full
@@ -68,12 +77,20 @@ func (g ClusterGrid) sizes() []int {
 	return g.Sizes
 }
 
+func (g ClusterGrid) gpus() []int {
+	if len(g.GPUs) == 0 {
+		return []int{0}
+	}
+	return g.GPUs
+}
+
 // ClusterCell is the outcome of one cluster-placement grid point.
 type ClusterCell struct {
-	// Workload, Policy and Nodes name the grid point.
+	// Workload, Policy, Nodes (CPU count) and GPUs name the grid point.
 	Workload string
 	Policy   string
 	Nodes    int
+	GPUs     int
 	// Result is the full placement outcome (nil until evaluated). Its
 	// rendered report is deterministic: a parallel sweep produces
 	// byte-identical reports to a serial one.
@@ -97,12 +114,15 @@ func (g ClusterGrid) points() []clusterPoint {
 	for _, wl := range g.workloads() {
 		for _, pol := range g.policies() {
 			for _, size := range g.sizes() {
-				pts = append(pts, clusterPoint{
-					cell: ClusterCell{Workload: wl.Name, Policy: pol, Nodes: size},
-					jobs: wl.Jobs,
-					c:    place.Cluster{Nodes: size, Machine: g.Machine, Interconnect: g.Interconnect},
-					opts: place.Options{Policy: pol, Arbiter: g.Arbiter, Config: g.Config},
-				})
+				for _, gcount := range g.gpus() {
+					pts = append(pts, clusterPoint{
+						cell: ClusterCell{Workload: wl.Name, Policy: pol, Nodes: size, GPUs: gcount},
+						jobs: wl.Jobs,
+						c: place.Cluster{Nodes: size, Machine: g.Machine,
+							GPUs: gcount, GPU: g.GPU, Interconnect: g.Interconnect},
+						opts: place.Options{Policy: pol, Arbiter: g.Arbiter, Config: g.Config},
+					})
+				}
 			}
 		}
 	}
@@ -110,8 +130,8 @@ func (g ClusterGrid) points() []clusterPoint {
 }
 
 // Cells enumerates the grid points in deterministic workload-major,
-// policy-minor, size-innermost order — the order RunClusterGrid's results
-// use.
+// policy-minor, size-then-GPU-count-innermost order — the order
+// RunClusterGrid's results use.
 func (g ClusterGrid) Cells() []ClusterCell {
 	pts := g.points()
 	cells := make([]ClusterCell, len(pts))
@@ -132,7 +152,8 @@ func RunClusterGrid(ctx context.Context, g ClusterGrid, parallelism int) ([]Clus
 		cell := pt.cell
 		res, err := place.PlaceJobs(pt.jobs, pt.c, pt.opts)
 		if err != nil {
-			return ClusterCell{}, fmt.Errorf("sweep: cell %s/%s/n=%d: %w", cell.Workload, cell.Policy, cell.Nodes, err)
+			return ClusterCell{}, fmt.Errorf("sweep: cell %s/%s/n=%d/g=%d: %w",
+				cell.Workload, cell.Policy, cell.Nodes, cell.GPUs, err)
 		}
 		cell.Result = res
 		cell.Elapsed = time.Since(start)

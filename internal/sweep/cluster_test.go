@@ -18,14 +18,14 @@ func clusterGrid() ClusterGrid {
 }
 
 // TestClusterGridCells: enumeration is workload-major, policy-minor,
-// size-innermost, and the empty grid covers the default workload under
-// every policy at sizes 1/2/4.
+// size-then-GPU-count-innermost, and the empty grid covers the default
+// workload under every policy at sizes 1/2/4 with no GPU nodes.
 func TestClusterGridCells(t *testing.T) {
 	cells := clusterGrid().Cells()
 	if len(cells) != 3*2 {
 		t.Fatalf("got %d cells, want 6", len(cells))
 	}
-	if cells[0].Workload != "lstm4" || cells[0].Policy != "binpack" || cells[0].Nodes != 1 {
+	if cells[0].Workload != "lstm4" || cells[0].Policy != "binpack" || cells[0].Nodes != 1 || cells[0].GPUs != 0 {
 		t.Errorf("first cell is %+v", cells[0])
 	}
 	if cells[1].Nodes != 2 || cells[2].Policy != "spread" {
@@ -33,6 +33,53 @@ func TestClusterGridCells(t *testing.T) {
 	}
 	if def := (ClusterGrid{}).Cells(); len(def) != 3*3 {
 		t.Errorf("default grid has %d cells, want 9", len(def))
+	}
+
+	// The node-mix axis crosses CPU counts with GPU counts, GPU count
+	// innermost.
+	g := clusterGrid()
+	g.GPUs = []int{0, 1}
+	mixed := g.Cells()
+	if len(mixed) != 3*2*2 {
+		t.Fatalf("mixed grid has %d cells, want 12", len(mixed))
+	}
+	if mixed[0].GPUs != 0 || mixed[1].GPUs != 1 || mixed[1].Nodes != 1 || mixed[2].Nodes != 2 {
+		t.Errorf("mixed cells enumerate %+v, %+v, %+v", mixed[0], mixed[1], mixed[2])
+	}
+}
+
+// TestClusterGridHeteroDeterminism: heterogeneous cells — including a
+// GPU-only fleet at CPU size 0 — run through the pool and render
+// byte-identically at parallelism 1 and 8.
+func TestClusterGridHeteroDeterminism(t *testing.T) {
+	g := ClusterGrid{
+		Workloads: []NamedWorkload{
+			{Name: "mix5", Jobs: place.MustSynthetic(5, 3, []string{nn.LSTM, nn.DCGAN}, 1e6)},
+		},
+		Policies: []string{"model-aware", "spread"},
+		Sizes:    []int{0, 1},
+		GPUs:     []int{1},
+	}
+	serial, err := RunClusterGrid(context.Background(), g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunClusterGrid(context.Background(), g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 4 || len(parallel) != 4 {
+		t.Fatalf("got %d serial / %d parallel cells, want 4", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if s, p := serial[i].Result.Render(), parallel[i].Result.Render(); s != p {
+			t.Errorf("hetero cell %d reports differ between serial and parallel sweeps:\n%s\nvs\n%s", i, s, p)
+		}
+		for _, j := range serial[i].Result.Jobs {
+			if j.Slowdown < 1-1e-9 {
+				t.Errorf("cell %d job %s slowdown %.4f < 1", i, j.Name, j.Slowdown)
+			}
+		}
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"opsched/internal/core"
 	"opsched/internal/exec"
 	"opsched/internal/experiments"
+	"opsched/internal/gpu"
 	"opsched/internal/hw"
 	"opsched/internal/multijob"
 	"opsched/internal/nn"
@@ -264,9 +265,31 @@ type ClusterJob = place.JobSpec
 // ClusterWorkload is a stream of jobs submitted to a cluster.
 type ClusterWorkload = place.Workload
 
-// Cluster describes the hardware a workload is placed onto: identical
-// nodes joined by an interconnect.
+// Cluster describes the hardware a workload is placed onto: a fleet of
+// per-node hardware descriptors — CPU machines and GPU devices, freely
+// mixed — joined by an interconnect. Either count the fleet (Nodes CPU
+// nodes followed by GPUs GPU nodes) or give it explicitly via NodeList.
 type Cluster = place.Cluster
+
+// ClusterNode is one node's hardware descriptor: exactly one of CPU
+// (a manycore machine) or GPU (a device) is set.
+type ClusterNode = place.Node
+
+// GPUDevice is the GPU hardware model of the paper's Section VII study
+// (see gpu.Device); it doubles as a cluster node's hardware.
+type GPUDevice = gpu.Device
+
+// NewP100 returns the Tesla P100 device model used in the paper's GPU
+// study — and, in cluster placement, the default GPU node hardware.
+func NewP100() *GPUDevice { return gpu.NewP100() }
+
+// HeterogeneousCluster is a convenience constructor for a mixed fleet:
+// cpus KNL nodes followed by gpus P100 nodes, joined by the default
+// Aries-like interconnect. Set the Cluster fields directly for custom
+// hardware models.
+func HeterogeneousCluster(cpus, gpus int) Cluster {
+	return Cluster{Nodes: cpus, GPUs: gpus}
+}
 
 // PlaceOptions configure a cluster placement run: the placement policy,
 // the per-node cross-job arbiter and the per-job runtime configuration.
@@ -283,14 +306,16 @@ type PlacedJob = place.PlacedJob
 // PlacementPolicies lists the placement policies PlaceJobs accepts:
 // "binpack" (consolidate onto the most-loaded node with spare capacity),
 // "spread" (least-loaded node) and "model-aware" (minimize the job's
-// predicted finish time using perfmodel work predictions).
+// predicted finish time, priced per node hardware — a launch-bound LSTM
+// routes to a manycore node, a convolution-heavy model to a GPU).
 func PlacementPolicies() []string { return place.Policies() }
 
 // PlaceJobs admits a workload of jobs onto a cluster under the given
 // options and runs it to completion on one virtual cluster clock: every
-// arriving job is placed by the policy, and each node gang-schedules its
-// resident jobs through the multi-job co-scheduling engine. Execution is
-// fully deterministic.
+// arriving job is placed by the policy against per-node hardware views,
+// CPU nodes gang-schedule their resident jobs through the multi-job
+// co-scheduling engine, and GPU nodes co-run one job per stream through
+// the occupancy model. Execution is fully deterministic.
 func PlaceJobs(w ClusterWorkload, c Cluster, opts PlaceOptions) (*PlacementResult, error) {
 	return place.PlaceJobs(w, c, opts)
 }
@@ -306,8 +331,8 @@ func SyntheticWorkload(n int, seed uint64, models []string, meanGapNs float64) (
 // NamedWorkload pairs a job stream with a label for sweep attribution.
 type NamedWorkload = sweep.NamedWorkload
 
-// ClusterSweepGrid is a workload × policy × cluster-size sweep
-// specification.
+// ClusterSweepGrid is a workload × policy × node-mix sweep specification;
+// the node-mix axis crosses CPU node counts with GPU node counts.
 type ClusterSweepGrid = sweep.ClusterGrid
 
 // ClusterSweepCell is the outcome of one cluster-placement grid point.

@@ -29,7 +29,7 @@ func serializeCells(t *testing.T, cells interface{}) []byte {
 	case []ClusterSweepCell:
 		for _, c := range cs {
 			entries = append(entries, entry{
-				Label:  []interface{}{c.Workload, c.Policy, c.Nodes},
+				Label:  []interface{}{c.Workload, c.Policy, c.Nodes, c.GPUs},
 				Report: c.Result.Render(),
 			})
 		}
@@ -69,6 +69,7 @@ func TestSweepSerializedDeterminism(t *testing.T) {
 	clusterGrid := ClusterSweepGrid{
 		Workloads: []NamedWorkload{{Name: "stream5", Jobs: workload}},
 		Sizes:     []int{2},
+		GPUs:      []int{0, 1},
 	}
 	clSerial, err := RunClusterSweep(ctx, clusterGrid, 1)
 	if err != nil {
@@ -110,6 +111,40 @@ func TestFacadePlaceJobs(t *testing.T) {
 	}
 	if _, err := PlaceJobs(workload, Cluster{Nodes: 1}, PlaceOptions{Policy: "nope"}); err == nil {
 		t.Error("unknown policy accepted")
+	}
+}
+
+// TestFacadeHeterogeneousCluster drives the mixed-fleet surface: the
+// constructor counts out CPU and GPU nodes, NewP100 doubles as node
+// hardware through NodeList, and a placed stream lands jobs on both
+// hardware kinds with slowdowns >= 1.
+func TestFacadeHeterogeneousCluster(t *testing.T) {
+	workload, err := SyntheticWorkload(6, 1, []string{"lstm", "dcgan"}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PlaceJobs(workload, HeterogeneousCluster(1, 1), PlaceOptions{Policy: "model-aware"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, j := range res.Jobs {
+		kinds[j.Kind]++
+		if j.Slowdown < 1-1e-9 {
+			t.Errorf("job %s slowdown %.4f < 1", j.Name, j.Slowdown)
+		}
+	}
+	if kinds["cpu"] == 0 || kinds["gpu"] == 0 {
+		t.Errorf("model-aware left a hardware kind idle: %v", kinds)
+	}
+
+	explicit := Cluster{NodeList: []ClusterNode{{CPU: NewKNL()}, {GPU: NewP100()}}}
+	res2, err := PlaceJobs(workload, explicit, PlaceOptions{Policy: "model-aware"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Render() != res2.Render() {
+		t.Error("explicit NodeList fleet renders differently from the counted equivalent")
 	}
 }
 
