@@ -21,6 +21,11 @@
 //	                              # workload × policy × size grid
 //	opsched-bench -cluster 12 -nodes 2 -gpus 2      # heterogeneous fleet:
 //	                              # 2 KNL nodes + 2 P100 nodes
+//	opsched-bench -cluster 12 -nodes 2 -gpus 2 -steps 4 -preempt off,on
+//	                              # multi-step jobs, run-to-completion vs
+//	                              # checkpoint/restart preemption
+//	opsched-bench -cluster 12 -steps 4 -preempt on -trigger priority+deadline
+//	                              # arm a specific trigger subset
 //
 // Reports print to stdout in request order and are byte-identical whatever
 // -parallel is; per-experiment wall-clock timings go to stderr (or into the
@@ -84,15 +89,20 @@ type jsonJobsOutput struct {
 }
 
 type jsonPlacedJob struct {
-	Name     string  `json:"name"`
-	Model    string  `json:"model"`
-	Node     int     `json:"node"`
-	Hw       string  `json:"hw"`
-	Wave     int     `json:"wave"`
-	QueueMs  float64 `json:"queue_ms"`
-	CorunMs  float64 `json:"corun_ms"`
-	JctMs    float64 `json:"jct_ms"`
-	Slowdown float64 `json:"slowdown"`
+	Name         string  `json:"name"`
+	Model        string  `json:"model"`
+	Node         int     `json:"node"`
+	Hw           string  `json:"hw"`
+	Wave         int     `json:"wave"`
+	Steps        int     `json:"steps"`
+	StepsDone    int     `json:"steps_done"`
+	QueueMs      float64 `json:"queue_ms"`
+	CorunMs      float64 `json:"corun_ms"`
+	JctMs        float64 `json:"jct_ms"`
+	Slowdown     float64 `json:"slowdown"`
+	Preemptions  int     `json:"preemptions"`
+	Path         string  `json:"path,omitempty"`
+	DisruptionMs float64 `json:"disruption_ms"`
 }
 
 type jsonClusterCell struct {
@@ -100,14 +110,20 @@ type jsonClusterCell struct {
 	Policy         string          `json:"policy"`
 	Nodes          int             `json:"nodes"`
 	Gpus           int             `json:"gpus"`
+	Preempt        string          `json:"preempt"`
 	Fleet          string          `json:"fleet"`
 	Report         string          `json:"report"`
 	MakespanMs     float64         `json:"makespan_ms"`
 	MeanJctMs      float64         `json:"mean_jct_ms"`
 	MeanQueueMs    float64         `json:"mean_queue_ms"`
+	P99QueueMs     float64         `json:"p99_queue_ms"`
 	Fairness       float64         `json:"fairness"`
 	DeadlinesMet   int             `json:"deadlines_met"`
 	DeadlinesTotal int             `json:"deadlines_total"`
+	Preemptions    int             `json:"preemptions"`
+	Migrations     int             `json:"migrations"`
+	TriggerFirings int             `json:"trigger_firings"`
+	DisruptionMs   float64         `json:"disruption_ms"`
 	Jobs           []jsonPlacedJob `json:"jobs"`
 	ElapsedMs      float64         `json:"elapsed_ms"`
 }
@@ -136,6 +152,9 @@ func main() {
 	models := flag.String("models", "lstm,dcgan", "models the -cluster synthetic workload cycles through, comma-separated")
 	seed := flag.Uint64("seed", 1, "seed of the -cluster synthetic workload")
 	gapMs := flag.Float64("gap", 2, "mean inter-arrival gap of the -cluster synthetic workload, in ms")
+	steps := flag.Int("steps", 1, "max training steps per -cluster synthetic job (steps cycle 1..N deterministically; 1 = single-step jobs)")
+	preemptSpec := flag.String("preempt", "off", `preemption axis for -cluster, comma-separated: "off" (run-to-completion), "on" (the -trigger set), or explicit trigger specs like priority+deadline`)
+	triggerSpec := flag.String("trigger", "all", `trigger set "-preempt on" arms: "all", "none", or a "+"-separated subset of priority, deadline, load`)
 	flag.Parse()
 
 	if *list {
@@ -151,7 +170,8 @@ func main() {
 		os.Exit(1)
 	}
 	if *clusterN > 0 {
-		runCluster(ctx, *clusterN, *policy, *nodesSpec, *gpusSpec, *models, *arbiter, *seed, *gapMs, *parallel, *jsonOut)
+		runCluster(ctx, *clusterN, *policy, *nodesSpec, *gpusSpec, *models, *arbiter,
+			*seed, *gapMs, *steps, *preemptSpec, *triggerSpec, *parallel, *jsonOut)
 		return
 	}
 
@@ -278,11 +298,11 @@ func runJobs(ctx context.Context, jobsSpec, arbiterSpec string, parallel int, js
 }
 
 // runCluster is the -cluster mode: a synthetic workload placed under every
-// requested policy at every requested node mix (CPU counts × GPU counts),
-// through the sweep pool. Same determinism contract as the other modes —
-// stdout is byte-identical at any -parallel, timings go to stderr or the
-// JSON payload.
-func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, parallel int, jsonOut bool) {
+// requested policy at every requested node mix (CPU counts × GPU counts)
+// and preemption configuration, through the sweep pool. Same determinism
+// contract as the other modes — stdout is byte-identical at any -parallel,
+// timings go to stderr or the JSON payload.
+func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, steps int, preemptSpec, triggerSpec string, parallel int, jsonOut bool) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
 		os.Exit(1)
@@ -297,9 +317,23 @@ func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, mod
 	if len(modelNames) == 0 {
 		fail(fmt.Errorf("-models %q names no models", modelsSpec))
 	}
-	workload, err := opsched.SyntheticWorkload(n, seed, modelNames, gapMs*1e6)
+	workload, err := opsched.SyntheticStepsWorkload(n, seed, modelNames, gapMs*1e6, steps)
 	if err != nil {
 		fail(err)
+	}
+
+	var preempts []string
+	for _, p := range strings.Split(preemptSpec, ",") {
+		switch p = strings.TrimSpace(p); p {
+		case "":
+		case "on":
+			preempts = append(preempts, strings.TrimSpace(triggerSpec))
+		default:
+			preempts = append(preempts, p)
+		}
+	}
+	if len(preempts) == 0 {
+		fail(fmt.Errorf("-preempt %q names no configurations", preemptSpec))
 	}
 
 	policies := opsched.PlacementPolicies()
@@ -342,6 +376,7 @@ func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, mod
 		Policies:  policies,
 		Sizes:     sizes,
 		GPUs:      gpus,
+		Preempts:  preempts,
 		Arbiter:   arb,
 	}
 	start := time.Now()
@@ -364,21 +399,29 @@ func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, par
 		for _, c := range cells {
 			jc := jsonClusterCell{
 				Workload: c.Workload, Policy: c.Policy, Nodes: c.Nodes,
-				Gpus: c.GPUs, Fleet: c.Result.Fleet,
+				Gpus: c.GPUs, Preempt: c.Result.Preempt, Fleet: c.Result.Fleet,
 				Report:         c.Result.Render(),
 				MakespanMs:     c.Result.MakespanNs / 1e6,
 				MeanJctMs:      c.Result.MeanJCTNs / 1e6,
 				MeanQueueMs:    c.Result.MeanQueueNs / 1e6,
+				P99QueueMs:     c.Result.QueuePercentileNs(0.99) / 1e6,
 				Fairness:       c.Result.FairnessIndex,
 				DeadlinesMet:   c.Result.DeadlinesMet,
 				DeadlinesTotal: c.Result.DeadlinesTotal,
+				Preemptions:    c.Result.Preemptions,
+				Migrations:     c.Result.Migrations,
+				TriggerFirings: c.Result.TriggerFirings,
+				DisruptionMs:   c.Result.DisruptionNs / 1e6,
 				ElapsedMs:      float64(c.Elapsed.Microseconds()) / 1e3,
 			}
 			for _, j := range c.Result.Jobs {
 				jc.Jobs = append(jc.Jobs, jsonPlacedJob{
 					Name: j.Name, Model: j.Model, Node: j.Node, Hw: j.Kind, Wave: j.Wave,
+					Steps: j.Steps, StepsDone: j.StepsDone,
 					QueueMs: j.QueueNs / 1e6, CorunMs: j.CoRunNs / 1e6,
 					JctMs: j.JCTNs() / 1e6, Slowdown: j.Slowdown,
+					Preemptions: j.Preemptions, Path: j.Path,
+					DisruptionMs: j.DisruptionNs / 1e6,
 				})
 			}
 			out.Cells = append(out.Cells, jc)
@@ -399,6 +442,9 @@ func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, par
 		label := fmt.Sprintf("%s / %s / n=%d", c.Workload, c.Policy, c.Nodes)
 		if c.GPUs > 0 {
 			label = fmt.Sprintf("%s+%dg", label, c.GPUs)
+		}
+		if c.Preempt != "" && c.Preempt != "off" {
+			label = fmt.Sprintf("%s / p=%s", label, c.Preempt)
 		}
 		fmt.Printf("=== %s ===\n%s\n", label, c.Result.Render())
 		fmt.Fprintf(os.Stderr, "opsched-bench: %-35s %.2fs\n", label, c.Elapsed.Seconds())

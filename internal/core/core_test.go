@@ -1,0 +1,21 @@
+package core
+
+import "testing"
+
+// TestConfigAccessorOverrides: every tunable honours an explicit positive
+// value instead of its paper default.
+func TestConfigAccessorOverrides(t *testing.T) {
+	c := Config{Interval: 7, Candidates: 5, MaxThreadDelta: 9, MaxHTGuests: 4}
+	if got := c.interval(); got != 7 {
+		t.Errorf("interval() = %d, want 7", got)
+	}
+	if got := c.candidates(); got != 5 {
+		t.Errorf("candidates() = %d, want 5", got)
+	}
+	if got := c.maxThreadDelta(); got != 9 {
+		t.Errorf("maxThreadDelta() = %d, want 9", got)
+	}
+	if got := c.maxHTGuests(); got != 4 {
+		t.Errorf("maxHTGuests() = %d, want 4", got)
+	}
+}

@@ -53,6 +53,10 @@ type Device struct {
 	// enough threads in flight to hide latency, the GPU analogue of the
 	// CPU model's GrainNs. <= 0 means the default.
 	FlopsHalf float64
+	// HBMBytes is the device-memory capacity in bytes (16 GB of HBM2 on
+	// the P100) — the bound a gang wave's resident working sets must fit
+	// within; <= 0 means the P100 default.
+	HBMBytes float64
 }
 
 // NewP100 returns the Tesla P100 (CUDA 9, cuDNN 7) configuration of §VII.
@@ -71,6 +75,7 @@ func NewP100() *Device {
 		FlopsNs:         defaultFlopsNs,
 		KernelLaunchNs:  defaultKernelLaunchNs,
 		FlopsHalf:       defaultFlopsHalf,
+		HBMBytes:        defaultHBMBytes,
 	}
 }
 
@@ -95,6 +100,8 @@ func (d *Device) Validate() error {
 		return errors.New("gpu: KernelLaunchNs must be non-negative")
 	case d.FlopsHalf < 0:
 		return errors.New("gpu: FlopsHalf must be non-negative")
+	case d.HBMBytes < 0:
+		return errors.New("gpu: HBMBytes must be non-negative")
 	}
 	return nil
 }

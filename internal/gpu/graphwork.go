@@ -21,6 +21,7 @@ const (
 	defaultFlopsNs        = 9300
 	defaultKernelLaunchNs = 8e3
 	defaultFlopsHalf      = 3.2e8
+	defaultHBMBytes       = 16e9
 )
 
 // StreamCapacity is the number of jobs a gang wave may co-run on the
@@ -51,6 +52,15 @@ func (d *Device) flopsHalf() float64 {
 		return defaultFlopsHalf
 	}
 	return d.FlopsHalf
+}
+
+// MemBytes is the device-memory capacity a gang wave's resident working
+// sets must fit within — 16 GB of HBM2 on the P100.
+func (d *Device) MemBytes() float64 {
+	if d.HBMBytes <= 0 {
+		return defaultHBMBytes
+	}
+	return d.HBMBytes
 }
 
 // launchConfig is the launch configuration graph-work predictions price
@@ -106,6 +116,29 @@ type GraphWork struct {
 	MemFrac float64
 	// Kernels is the number of operations (= kernel launches) per step.
 	Kernels int
+	// WorkingSetBytes estimates the job's HBM residency while training —
+	// what wave admission packs against the device's MemBytes capacity.
+	WorkingSetBytes float64
+}
+
+// WorkingSetBytes estimates the HBM residency of one resident training
+// job from the graph's tensor sizes: the parameters together with their
+// gradients and optimizer moments (3× the parameter bytes an optimizer
+// update touches), plus the forward activations retained for the backward
+// pass, approximated as half the graph's summed output-tensor bytes —
+// roughly the forward half of the step. On the paper's workloads this
+// prices a ResNet-50 at ~4.5 GB, so a 16 GB P100 admits three but not
+// four, while DCGAN and LSTM stay under 150 MB and remain stream-bound.
+func WorkingSetBytes(g *graph.Graph) float64 {
+	var params, activations float64
+	for _, n := range g.Nodes() {
+		switch n.Op.Kind {
+		case op.ApplyAdam, op.ApplyGradientDescent:
+			params += n.Op.Input.Bytes()
+		}
+		activations += n.Op.OutputDims().Bytes()
+	}
+	return 3*params + activations/2
 }
 
 // PredictGraphWork prices graph g on the device: per-kernel times at the
@@ -121,7 +154,7 @@ func (d *Device) PredictGraphWork(g *graph.Graph) GraphWork {
 		total += t
 		memWeighted += t * k.MemFrac
 	}
-	w := GraphWork{SoloNs: total, Kernels: g.Len()}
+	w := GraphWork{SoloNs: total, Kernels: g.Len(), WorkingSetBytes: WorkingSetBytes(g)}
 	if total > 0 {
 		w.MemFrac = memWeighted / total
 	}

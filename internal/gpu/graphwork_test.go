@@ -190,3 +190,50 @@ func TestCoRunAlphaBand(t *testing.T) {
 		t.Errorf("CoRunAlpha %v outside the stream-interference band", a)
 	}
 }
+
+// TestWorkingSetBytes pins the HBM working-set estimate to the capacity
+// story the ROADMAP tells: a 16 GB P100 admits three ResNet-50s but not
+// four, while DCGAN and LSTM stay far below a gigabyte and remain
+// stream-bound rather than memory-bound.
+func TestWorkingSetBytes(t *testing.T) {
+	d := NewP100()
+	if d.MemBytes() != 16e9 {
+		t.Fatalf("P100 MemBytes %v, want 16e9", d.MemBytes())
+	}
+	if (&Device{}).MemBytes() != 16e9 {
+		t.Errorf("zero HBMBytes should fall back to the P100 default")
+	}
+	resnet := WorkingSetBytes(nn.MustBuild(nn.ResNet50).Graph)
+	if 3*resnet > d.MemBytes() {
+		t.Errorf("three ResNet-50s (%.1f GB each) should fit 16 GB", resnet/1e9)
+	}
+	if 4*resnet <= d.MemBytes() {
+		t.Errorf("four ResNet-50s (%.1f GB each) should NOT fit 16 GB", resnet/1e9)
+	}
+	for _, small := range []string{nn.DCGAN, nn.LSTM} {
+		if ws := WorkingSetBytes(nn.MustBuild(small).Graph); ws <= 0 || ws > 1e9 {
+			t.Errorf("%s working set %.2f GB outside (0, 1 GB]", small, ws/1e9)
+		}
+	}
+	w := d.PredictGraphWork(nn.MustBuild(nn.ResNet50).Graph)
+	if w.WorkingSetBytes != resnet {
+		t.Errorf("PredictGraphWork working set %v != estimator %v", w.WorkingSetBytes, resnet)
+	}
+}
+
+// TestHBMValidation: a negative capacity is rejected, explicit capacities
+// are honoured.
+func TestHBMValidation(t *testing.T) {
+	d := NewP100()
+	d.HBMBytes = -1
+	if err := d.Validate(); err == nil {
+		t.Error("negative HBMBytes accepted")
+	}
+	d.HBMBytes = 8e9
+	if err := d.Validate(); err != nil {
+		t.Errorf("explicit HBMBytes rejected: %v", err)
+	}
+	if d.MemBytes() != 8e9 {
+		t.Errorf("MemBytes %v, want the explicit 8e9", d.MemBytes())
+	}
+}

@@ -260,3 +260,18 @@ func TestCurveUnimodalEnoughForHillClimbing(t *testing.T) {
 		}
 	}
 }
+
+// TestMemTrafficAccessor: the exported traffic accessor applies the same
+// useful-threads cap as OpTime and scales with the cost's byte footprint.
+func TestMemTrafficAccessor(t *testing.T) {
+	m := NewKNL()
+	c := OpCost{WorkNs: 1e6, Bytes: 1e6, WorkingSetBytes: 1e6, ShareFrac: 0.5, MissBase: 0.9}
+	small := m.MemTraffic(c, 1, Shared)
+	if small <= 0 {
+		t.Fatalf("MemTraffic %v, want positive", small)
+	}
+	big := m.MemTraffic(OpCost{WorkNs: 1e6, Bytes: 4e6, WorkingSetBytes: 1e6, ShareFrac: 0.5, MissBase: 0.9}, 1, Shared)
+	if big <= small {
+		t.Errorf("4x bytes traffic %v not above %v", big, small)
+	}
+}

@@ -199,3 +199,18 @@ func TestCoTrainErrors(t *testing.T) {
 		t.Error("unknown arbiter name accepted")
 	}
 }
+
+// TestProgressFractionEdges: a job with no predicted work reads as fully
+// progressed (the fair-share arbiter must not divide by zero), and
+// partial work reads proportionally.
+func TestProgressFractionEdges(t *testing.T) {
+	j := &JobState{}
+	if got := j.ProgressFraction(); got != 1 {
+		t.Errorf("zero-work progress %v, want 1", got)
+	}
+	j.totalWork = 10
+	j.remainingWork = 4
+	if got := j.ProgressFraction(); got != 0.6 {
+		t.Errorf("progress %v, want 0.6", got)
+	}
+}

@@ -245,3 +245,45 @@ func TestPredictAlwaysPositive(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPredictInterpolationPaths pins every branch of the profile
+// predictor: exact hits, interpolation, both extrapolation directions,
+// the positive clamp, single-sample and empty-placement fallbacks.
+func TestPredictInterpolationPaths(t *testing.T) {
+	pr := &Profile{samples: map[hw.Placement][]Config{
+		hw.Shared: {
+			{Threads: 2, TimeNs: 100, Placement: hw.Shared},
+			{Threads: 4, TimeNs: 60, Placement: hw.Shared},
+			{Threads: 8, TimeNs: 40, Placement: hw.Shared},
+		},
+	}}
+	if got := pr.Predict(4, hw.Shared); got != 60 {
+		t.Errorf("exact hit %v, want 60", got)
+	}
+	if got := pr.Predict(6, hw.Shared); got != 50 {
+		t.Errorf("midpoint %v, want 50", got)
+	}
+	if got := pr.Predict(1, hw.Shared); got != 120 {
+		t.Errorf("left extrapolation %v, want 120", got)
+	}
+	if got := pr.Predict(16, hw.Shared); got != 0 {
+		// 40 + 2*(40-60) = 0 clamps to 1% of the left sample.
+		if want := 0.01 * 60.0; got != want {
+			t.Errorf("right extrapolation %v, want clamp %v", got, want)
+		}
+	}
+	// Missing placement falls back to the populated one.
+	if got := pr.Predict(4, hw.Spread); got != 60 {
+		t.Errorf("fallback placement %v, want 60", got)
+	}
+	single := &Profile{samples: map[hw.Placement][]Config{
+		hw.Spread: {{Threads: 4, TimeNs: 70, Placement: hw.Spread}},
+	}}
+	if got := single.Predict(64, hw.Spread); got != 70 {
+		t.Errorf("single sample %v, want 70", got)
+	}
+	empty := &Profile{samples: map[hw.Placement][]Config{}}
+	if got := empty.Predict(4, hw.Shared); !math.IsNaN(got) {
+		t.Errorf("empty profile %v, want NaN", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"opsched/internal/cluster"
 	"opsched/internal/core"
@@ -13,24 +14,48 @@ import (
 	"opsched/internal/hw"
 	"opsched/internal/multijob"
 	"opsched/internal/nn"
+	"opsched/internal/preempt"
 )
+
+// waveState is one in-flight gang wave on a node. A wave executes its
+// resident jobs in lockstep rounds — one training step per job per round,
+// priced by one NodeRuntime.RunWave call — until every job has retired all
+// its steps, or a trigger cuts the wave at the current round's end (a
+// per-job step boundary, so no completed work is ever discarded). A
+// single-step job set makes the wave exactly one round: the engine's
+// pre-preemption behaviour, byte for byte.
+type waveState struct {
+	ord    int   // wave ordinal on this node
+	active []int // workload indices still gang-resident, admission order
+	// roundStartNs/roundEndNs bound the current round; res holds its
+	// per-job one-step results, indexed like active.
+	roundStartNs float64
+	roundEndNs   float64
+	res          *WaveResult
+	// drainNs estimates the whole wave's end under the lockstep model
+	// (what policies and triggers see as the node's horizon).
+	drainNs float64
+	// cut marks the wave for checkpointing at the current round's end.
+	cut bool
+}
 
 // nodeState is one node's mutable bookkeeping inside the event loop.
 type nodeState struct {
-	rt       NodeRuntime
-	freeNs   float64 // when the in-flight wave completes
-	resident int     // jobs in the in-flight wave
-	queue    []int   // workload indices staged behind it, placement order
+	rt     NodeRuntime
+	wave   *waveState // in-flight gang wave, nil when idle
+	freeNs float64    // when the node last became idle — valid while wave == nil
+	queue  []int      // workload indices staged behind the wave, placement order
 
 	// Incremental aggregates over queue, maintained so neither the wave
 	// scheduler nor a policy snapshot ever rescans every queued job:
-	// queuedWorkNs prices the queue on this node's hardware, minReadyNs
-	// is the earliest staged-job ready time (+Inf when empty).
+	// queuedWorkNs prices the queue's remaining steps on this node's
+	// hardware, minReadyNs is the earliest staged-job ready time (+Inf
+	// when empty).
 	queuedWorkNs float64
 	minReadyNs   float64
 
-	// version invalidates this node's entries in the wave-start heap:
-	// an entry pushed under an older version is stale and skipped.
+	// version invalidates this node's entries in the event heap: an entry
+	// pushed under an older version is stale and skipped.
 	version int
 
 	waves  int
@@ -38,9 +63,13 @@ type nodeState struct {
 	busyNs float64
 }
 
-// waveStartNs is when the node's next gang wave could launch: it must be
-// free and its earliest-staged job must have arrived.
-func (ns *nodeState) waveStartNs() float64 {
+// nextEventNs is the node's next event on the cluster clock: the current
+// round's end while a wave is in flight, else the earliest possible wave
+// launch (free and with a staged job arrived), else never.
+func (ns *nodeState) nextEventNs() float64 {
+	if ns.wave != nil {
+		return ns.wave.roundEndNs
+	}
 	if len(ns.queue) == 0 {
 		return math.Inf(1)
 	}
@@ -50,14 +79,31 @@ func (ns *nodeState) waveStartNs() float64 {
 	return ns.freeNs
 }
 
-// waveEntry is one candidate wave start in the event loop's min-heap.
+// viewFreeNs is the horizon a policy or trigger sees: the wave's predicted
+// drain while one is in flight, else when the node went idle.
+func (ns *nodeState) viewFreeNs() float64 {
+	if ns.wave != nil {
+		return ns.wave.drainNs
+	}
+	return ns.freeNs
+}
+
+// residentCount is the in-flight wave's job count (0 when idle).
+func (ns *nodeState) residentCount() int {
+	if ns.wave == nil {
+		return 0
+	}
+	return len(ns.wave.active)
+}
+
+// waveEntry is one candidate node event in the event loop's min-heap.
 type waveEntry struct {
 	startNs float64
 	node    int
 	version int
 }
 
-// waveHeap orders candidate wave starts by time, breaking ties on the
+// waveHeap orders candidate node events by time, breaking ties on the
 // lower node index — the same deterministic order the former linear scan
 // produced, now at O(log nodes) per event instead of O(jobs × nodes).
 type waveHeap []waveEntry
@@ -80,20 +126,59 @@ func (h *waveHeap) Pop() interface{} {
 }
 
 // modelInfo caches the hardware-independent per-model quantities: the
-// built graph and the parameter staging transfer over the interconnect.
-// Per-hardware work predictions live in each NodeRuntime's own cache.
+// built graph, the parameter payload, and its staging transfer over the
+// interconnect. Per-hardware work predictions live in each NodeRuntime's
+// own cache.
 type modelInfo struct {
-	graph  *graph.Graph
-	xferNs float64
+	graph      *graph.Graph
+	paramBytes float64
+	xferNs     float64
+}
+
+// engineState is the placement event loop's working set.
+type engineState struct {
+	specs  []JobSpec
+	nodes  []*nodeState
+	placed []PlacedJob
+	pol    Policy
+	ic     *cluster.Interconnect
+	infos  map[string]*modelInfo
+	graphs func(string) *graph.Graph
+
+	// Preemption machinery: nil triggers with preemptOn false is the
+	// run-to-completion engine.
+	preemptOn bool
+	triggers  []preempt.Trigger
+	migrator  preempt.Migrator
+	firings   int
+
+	steps        []int     // per-job total step count
+	done         []int     // per-job steps retired
+	readyNs      []float64 // per-job current staging-complete time
+	started      []bool    // per-job "first wave launched"
+	countedOn    []int     // last node the job was counted as executing on (-1 none)
+	checkpointNs []float64 // per-job pending checkpoint capture time, -1 when none
+	path         [][]string
+
+	h         *waveHeap
+	idxW      int
+	completed int
 }
 
 // PlaceJobs admits the workload onto the cluster under the given options
 // and runs it to completion on one virtual cluster clock. Arrivals are
 // processed in (arrival time, input index) order; each arrival is placed by
 // the policy against per-node hardware views. A node that becomes free
-// gang-schedules its staged jobs — up to its hardware's wave capacity —
-// into a co-run wave through its NodeRuntime; the wave's per-job makespans
-// land back on the cluster clock. Execution is fully deterministic.
+// gang-schedules its staged jobs — up to its hardware's wave capacity and,
+// on a GPU node, its HBM working-set budget, packed shortest-predicted-
+// first — into a co-run wave of lockstep one-step rounds through its
+// NodeRuntime. When preemption triggers are armed (Options.Preempt), a
+// high-priority or deadline-at-risk arrival can cut a running wave at its
+// next step boundary; the wave's unfinished jobs are checkpointed and
+// re-priced across the fleet, paying the interconnect for checkpoint state
+// plus re-staging when they move. Execution is fully deterministic, and a
+// preemptive run whose triggers never fire reports byte-identically to a
+// run-to-completion one.
 func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
@@ -106,6 +191,10 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 		return nil, err
 	}
 	arb, err := multijob.NewArbiter(opts.arbiter())
+	if err != nil {
+		return nil, fmt.Errorf("place: %w", err)
+	}
+	triggers, preemptOn, err := preempt.ParseTriggers(opts.Preempt)
 	if err != nil {
 		return nil, fmt.Errorf("place: %w", err)
 	}
@@ -134,15 +223,32 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 		specs[i] = j
 	}
 
-	infos := make(map[string]*modelInfo)
-	info := func(model string) *modelInfo {
-		if mi, ok := infos[model]; ok {
-			return mi
-		}
-		g := graphFor(model)
-		mi := &modelInfo{graph: g, xferNs: ic.TransferNs(cluster.ParamBytes(g))}
-		infos[model] = mi
-		return mi
+	e := &engineState{
+		specs: specs, pol: pol, ic: ic,
+		infos: make(map[string]*modelInfo), graphs: graphFor,
+		preemptOn: preemptOn, triggers: triggers,
+		placed:       make([]PlacedJob, len(specs)),
+		steps:        make([]int, len(specs)),
+		done:         make([]int, len(specs)),
+		readyNs:      make([]float64, len(specs)),
+		started:      make([]bool, len(specs)),
+		countedOn:    make([]int, len(specs)),
+		checkpointNs: make([]float64, len(specs)),
+		path:         make([][]string, len(specs)),
+		h:            &waveHeap{},
+	}
+	for i, sp := range specs {
+		e.steps[i] = sp.steps()
+		e.checkpointNs[i] = -1
+		e.countedOn[i] = -1
+	}
+	e.nodes = make([]*nodeState, len(runtimes))
+	for i, rt := range runtimes {
+		e.nodes[i] = &nodeState{rt: rt, minReadyNs: math.Inf(1)}
+	}
+	e.idxW = len(fmt.Sprintf("%d", len(e.nodes)-1))
+	if e.idxW < 2 {
+		e.idxW = 2
 	}
 
 	// Arrival order: by time, input index breaking ties.
@@ -154,133 +260,49 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 		return specs[order[a]].ArrivalNs < specs[order[b]].ArrivalNs
 	})
 
-	nodes := make([]*nodeState, len(runtimes))
-	for i, rt := range runtimes {
-		nodes[i] = &nodeState{rt: rt, minReadyNs: math.Inf(1)}
-	}
-	placed := make([]PlacedJob, len(specs))
-
-	// The wave-start min-heap indexes every node with staged jobs; stale
-	// entries (older version) are skipped on peek.
-	h := &waveHeap{}
-	push := func(i int) {
-		ns := nodes[i]
-		ns.version++
-		if len(ns.queue) == 0 {
-			return
-		}
-		heap.Push(h, waveEntry{startNs: ns.waveStartNs(), node: i, version: ns.version})
-	}
-	peek := func() (int, float64) {
-		for h.Len() > 0 {
-			e := (*h)[0]
-			if nodes[e.node].version != e.version {
-				heap.Pop(h)
-				continue
-			}
-			return e.node, e.startNs
-		}
-		return -1, math.Inf(1)
-	}
-
 	next := 0 // next arrival, as an index into order
-	done := 0
+	for e.completed < len(specs) {
+		eventNode, eventNs := e.peek()
 
-	for done < len(specs) {
-		waveNode, waveStart := peek()
-
-		// Arrivals strictly before — and exactly at — the next wave start
+		// Arrivals strictly before — and exactly at — the next node event
 		// are placed first, so a job arriving as a node frees can still
 		// influence (or join) the node's next wave.
 		if next < len(order) {
 			ji := order[next]
-			if at := specs[ji].ArrivalNs; waveNode < 0 || at <= waveStart {
+			if at := specs[ji].ArrivalNs; eventNode < 0 || at <= eventNs {
 				next++
-				sp := specs[ji]
-				mi := info(sp.Model)
-				n := pol.Pick(sp, at, views(nodes, sp.Model, at))
-				if n < 0 || n >= len(nodes) {
-					return nil, fmt.Errorf("place: policy %q placed job %s on node %d of a %d-node cluster",
-						pol.Name(), sp.Name, n, len(nodes))
+				if err := e.placeArrival(ji, at); err != nil {
+					return nil, err
 				}
-				ns := nodes[n]
-				placed[ji] = PlacedJob{
-					Name: sp.Name, Model: sp.Model, Node: n, Kind: ns.rt.Kind(),
-					ArrivalNs: at, TransferNs: mi.xferNs, ReadyNs: at + mi.xferNs,
-					DeadlineNs: sp.DeadlineNs,
-				}
-				ns.queue = append(ns.queue, ji)
-				ns.queuedWorkNs += ns.rt.SoloWorkNs(sp.Model)
-				if r := placed[ji].ReadyNs; r < ns.minReadyNs {
-					ns.minReadyNs = r
-				}
-				push(n)
 				continue
 			}
 		}
-		if waveNode < 0 {
-			return nil, fmt.Errorf("place: stalled with %d of %d jobs done and no runnable wave", done, len(specs))
+		if eventNode < 0 {
+			return nil, fmt.Errorf("place: stalled with %d of %d jobs done and no runnable wave",
+				e.completed, len(specs))
 		}
-		heap.Pop(h) // consume the peeked (valid) entry
-
-		// Launch the wave: staged-and-ready jobs in placement order, up to
-		// the node's wave capacity.
-		ns := nodes[waveNode]
-		capacity := ns.rt.Capacity()
-		var admit, rest []int
-		for _, ji := range ns.queue {
-			if len(admit) < capacity && placed[ji].ReadyNs <= waveStart {
-				admit = append(admit, ji)
-			} else {
-				rest = append(rest, ji)
+		heap.Pop(e.h) // consume the peeked (valid) entry
+		if e.nodes[eventNode].wave != nil {
+			if err := e.finishRound(eventNode); err != nil {
+				return nil, err
 			}
+		} else if err := e.launchWave(eventNode, eventNs); err != nil {
+			return nil, err
 		}
-		jobs := make([]WaveJob, len(admit))
-		for k, ji := range admit {
-			sp := specs[ji]
-			jobs[k] = WaveJob{Name: sp.Name, Model: sp.Model, Priority: sp.Priority, Weight: sp.Weight}
-		}
-		res, err := ns.rt.RunWave(jobs)
-		if err != nil {
-			return nil, fmt.Errorf("place: wave %d on node %d: %w", ns.waves, waveNode, err)
-		}
-		for k, ji := range admit {
-			jr := res.Jobs[k]
-			p := &placed[ji]
-			p.Wave = ns.waves
-			p.StartNs = waveStart
-			p.QueueNs = waveStart - p.ArrivalNs
-			p.SoloNs = jr.SoloNs
-			p.CoRunNs = jr.MakespanNs
-			p.CoRunSlowdown = jr.Slowdown
-			p.FinishNs = waveStart + jr.MakespanNs
-			if p.SoloNs > 0 {
-				p.Slowdown = p.JCTNs() / p.SoloNs
-			}
-			p.DeadlineMet = p.DeadlineNs > 0 && p.FinishNs <= p.DeadlineNs
-		}
-		ns.queue = rest
-		ns.queuedWorkNs, ns.minReadyNs = 0, math.Inf(1)
-		for _, ji := range rest {
-			ns.queuedWorkNs += ns.rt.SoloWorkNs(specs[ji].Model)
-			if r := placed[ji].ReadyNs; r < ns.minReadyNs {
-				ns.minReadyNs = r
-			}
-		}
-		ns.waves++
-		ns.jobs += len(admit)
-		ns.resident = len(admit)
-		ns.busyNs += res.TotalNs
-		ns.freeNs = waveStart + res.TotalNs
-		push(waveNode)
-		done += len(admit)
 	}
 
+	for ji := range e.placed {
+		e.placed[ji].StepsDone = e.done[ji]
+		if segs := e.path[ji]; len(segs) > 1 {
+			e.placed[ji].Path = strings.Join(segs, " -> ")
+		}
+	}
 	out := &Result{
-		Policy: pol.Name(), Arbiter: arb.Name(), Nodes: len(nodes),
-		Fleet: fleetDescription(runtimes), Jobs: placed,
+		Policy: pol.Name(), Arbiter: arb.Name(), Nodes: len(e.nodes),
+		Fleet: fleetDescription(runtimes), Jobs: e.placed,
+		Preempt: preemptSpecName(preemptOn, triggers), TriggerFirings: e.firings,
 	}
-	for i, ns := range nodes {
+	for i, ns := range e.nodes {
 		out.NodeStats = append(out.NodeStats, NodeStats{
 			Node: i, Kind: ns.rt.Kind(), Hardware: ns.rt.Hardware(),
 			Jobs: ns.jobs, Waves: ns.waves, BusyNs: ns.busyNs,
@@ -288,6 +310,440 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 	}
 	out.finalize()
 	return out, nil
+}
+
+// preemptSpecName canonicalizes the run's preemption configuration.
+func preemptSpecName(on bool, ts []preempt.Trigger) string {
+	if !on {
+		return "off"
+	}
+	if len(ts) == 0 {
+		return "none"
+	}
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// info caches per-model graph, parameter payload and staging transfer.
+func (e *engineState) info(model string) *modelInfo {
+	if mi, ok := e.infos[model]; ok {
+		return mi
+	}
+	g := e.graphs(model)
+	pb := cluster.ParamBytes(g)
+	mi := &modelInfo{graph: g, paramBytes: pb, xferNs: e.ic.TransferNs(pb)}
+	e.infos[model] = mi
+	return mi
+}
+
+// push re-indexes node i in the event heap (stale entries are version-
+// skipped on peek).
+func (e *engineState) push(i int) {
+	ns := e.nodes[i]
+	ns.version++
+	if next := ns.nextEventNs(); !math.IsInf(next, 1) {
+		heap.Push(e.h, waveEntry{startNs: next, node: i, version: ns.version})
+	}
+}
+
+// peek returns the earliest valid node event, or (-1, +Inf).
+func (e *engineState) peek() (int, float64) {
+	for e.h.Len() > 0 {
+		entry := (*e.h)[0]
+		if e.nodes[entry.node].version != entry.version {
+			heap.Pop(e.h)
+			continue
+		}
+		return entry.node, entry.startNs
+	}
+	return -1, math.Inf(1)
+}
+
+// pathSeg renders one node hop for a job's migration path.
+func (e *engineState) pathSeg(n int) string {
+	return fmt.Sprintf("n%0*d/%s", e.idxW, n, e.nodes[n].rt.Kind())
+}
+
+// remainingWorkOn prices job ji's unfinished steps on node ns's hardware.
+func (e *engineState) remainingWorkOn(ns *nodeState, ji int) float64 {
+	return float64(e.steps[ji]-e.done[ji]) * ns.rt.SoloWorkNs(e.specs[ji].Model)
+}
+
+// views snapshots every node for a policy decision at nowNs: per-node
+// hardware kind and capacity, the queued work priced on that hardware
+// (maintained incrementally, not rescanned), and the arriving job's total
+// predicted solo work on that hardware.
+func (e *engineState) views(ji int, nowNs float64) []NodeView {
+	vs := make([]NodeView, len(e.nodes))
+	for i, ns := range e.nodes {
+		v := NodeView{
+			Index: i, Kind: ns.rt.Kind(), Capacity: ns.rt.Capacity(),
+			FreeNs: ns.viewFreeNs(), Queued: len(ns.queue),
+			QueuedWorkNs: ns.queuedWorkNs,
+			JobWorkNs:    float64(e.steps[ji]) * ns.rt.SoloWorkNs(e.specs[ji].Model),
+			Alpha:        ns.rt.WaveAlpha(),
+		}
+		if v.FreeNs > nowNs {
+			v.Resident = ns.residentCount()
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+// placeArrival runs the policy for one arriving job, stages it on the
+// chosen node, and gives the armed triggers a chance to cut a wave.
+func (e *engineState) placeArrival(ji int, at float64) error {
+	sp := e.specs[ji]
+	mi := e.info(sp.Model)
+	n := e.pol.Pick(sp, at, e.views(ji, at))
+	if n < 0 || n >= len(e.nodes) {
+		return fmt.Errorf("place: policy %q placed job %s on node %d of a %d-node cluster",
+			e.pol.Name(), sp.Name, n, len(e.nodes))
+	}
+	ns := e.nodes[n]
+	e.placed[ji] = PlacedJob{
+		Name: sp.Name, Model: sp.Model, Node: n, Kind: ns.rt.Kind(),
+		ArrivalNs: at, TransferNs: mi.xferNs, ReadyNs: at + mi.xferNs,
+		DeadlineNs: sp.DeadlineNs, Steps: e.steps[ji],
+	}
+	e.readyNs[ji] = at + mi.xferNs
+	e.path[ji] = []string{e.pathSeg(n)}
+	ns.queue = append(ns.queue, ji)
+	ns.queuedWorkNs += e.remainingWorkOn(ns, ji)
+	if e.readyNs[ji] < ns.minReadyNs {
+		ns.minReadyNs = e.readyNs[ji]
+	}
+	e.push(n)
+	e.fireTriggers(ji, n, at)
+	return nil
+}
+
+// fireTriggers evaluates every armed trigger against the arrival and marks
+// the waves they cut. A wave is cut at most once; firings count the newly
+// marked cuts.
+func (e *engineState) fireTriggers(ji, node int, at float64) {
+	if !e.preemptOn || len(e.triggers) == 0 {
+		return
+	}
+	sp := e.specs[ji]
+	arr := preempt.Arrival{
+		Name: sp.Name, Model: sp.Model, Priority: sp.Priority,
+		DeadlineNs: sp.DeadlineNs, Node: node,
+		WorkNs:  e.remainingWorkOn(e.nodes[node], ji),
+		ReadyNs: e.readyNs[ji],
+	}
+	snap := e.snapshot()
+	for _, tr := range e.triggers {
+		for _, idx := range tr.Fire(arr, at, snap) {
+			if idx < 0 || idx >= len(e.nodes) {
+				continue
+			}
+			if w := e.nodes[idx].wave; w != nil && !w.cut {
+				w.cut = true
+				// The wave now ends at the current round's boundary:
+				// collapse the drain horizon so later arrivals, triggers
+				// and migrations price the node as freeing there.
+				w.drainNs = w.roundEndNs
+				e.firings++
+			}
+		}
+	}
+}
+
+// snapshot builds the triggers' read-only fleet view.
+func (e *engineState) snapshot() []preempt.NodeSnapshot {
+	out := make([]preempt.NodeSnapshot, len(e.nodes))
+	for i, ns := range e.nodes {
+		s := preempt.NodeSnapshot{
+			Index: i, Kind: ns.rt.Kind(),
+			Queued: len(ns.queue), QueuedWorkNs: ns.queuedWorkNs,
+		}
+		if w := ns.wave; w != nil {
+			s.InWave = true
+			s.RoundEndNs = w.roundEndNs
+			s.DrainNs = w.drainNs
+			for _, ji := range w.active {
+				sp := e.specs[ji]
+				s.Resident = append(s.Resident, preempt.ResidentJob{
+					Name: sp.Name, Priority: sp.Priority, DeadlineNs: sp.DeadlineNs,
+					StepsDone: e.done[ji], Steps: e.steps[ji],
+					RemainingNs: e.remainingWorkOn(ns, ji),
+				})
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// admitWave selects the staged-and-ready jobs joining node n's next wave:
+// up to the hardware's wave capacity, and on a memory-bound node (a GPU)
+// only while the working sets fit the device budget — though a lone job is
+// always admitted so an oversized model still runs. GPU nodes pack
+// shortest-predicted-first (stable, so equal-work jobs keep placement
+// order); CPU nodes admit in placement order.
+func (e *engineState) admitWave(n int, startNs float64) []int {
+	ns := e.nodes[n]
+	capacity := ns.rt.Capacity()
+	memCap := ns.rt.MemCapacityBytes()
+	cands := make([]int, 0, len(ns.queue))
+	for _, ji := range ns.queue {
+		if e.readyNs[ji] <= startNs {
+			cands = append(cands, ji)
+		}
+	}
+	if ns.rt.Kind() == KindGPU {
+		// Highest priority first, then shortest remaining work — a
+		// resumed checkpoint is priced at its unfinished steps, not its
+		// per-step time, and a preemption's beneficiary is never crowded
+		// out of the relaunch by the very jobs it displaced. Equal keys
+		// keep placement order (stable).
+		sort.SliceStable(cands, func(a, b int) bool {
+			pa, pb := e.specs[cands[a]].Priority, e.specs[cands[b]].Priority
+			if pa != pb {
+				return pa > pb
+			}
+			return e.remainingWorkOn(ns, cands[a]) < e.remainingWorkOn(ns, cands[b])
+		})
+	}
+	admit := make([]int, 0, len(cands))
+	admitted := make(map[int]bool, len(cands))
+	memUsed := 0.0
+	for _, ji := range cands {
+		if len(admit) >= capacity {
+			break
+		}
+		if memCap > 0 {
+			need := ns.rt.JobMemBytes(e.specs[ji].Model)
+			if len(admit) > 0 && memUsed+need > memCap {
+				continue
+			}
+			memUsed += need
+		}
+		admit = append(admit, ji)
+		admitted[ji] = true
+	}
+	var rest []int
+	for _, ji := range ns.queue {
+		if !admitted[ji] {
+			rest = append(rest, ji)
+		}
+	}
+	ns.queue = rest
+	ns.queuedWorkNs, ns.minReadyNs = 0, math.Inf(1)
+	for _, ji := range rest {
+		ns.queuedWorkNs += e.remainingWorkOn(ns, ji)
+		if e.readyNs[ji] < ns.minReadyNs {
+			ns.minReadyNs = e.readyNs[ji]
+		}
+	}
+	return admit
+}
+
+// launchWave starts a new gang wave on node n at startNs.
+func (e *engineState) launchWave(n int, startNs float64) error {
+	ns := e.nodes[n]
+	admit := e.admitWave(n, startNs)
+	if len(admit) == 0 {
+		return fmt.Errorf("place: node %d woke with no admissible job", n)
+	}
+	w := &waveState{ord: ns.waves, active: admit}
+	ns.wave = w
+	ns.waves++
+	for _, ji := range admit {
+		// A job counts toward a node's executed jobs once per node it
+		// runs on: a checkpoint resuming where it was preempted is not a
+		// new job, a migrated one genuinely executed on both nodes.
+		if e.countedOn[ji] != n {
+			e.countedOn[ji] = n
+			ns.jobs++
+		}
+		p := &e.placed[ji]
+		p.Wave = w.ord
+		if !e.started[ji] {
+			e.started[ji] = true
+			p.StartNs = startNs
+			p.QueueNs = startNs - p.ArrivalNs
+		}
+		if e.checkpointNs[ji] >= 0 {
+			p.DisruptionNs += startNs - e.checkpointNs[ji]
+			e.checkpointNs[ji] = -1
+		}
+	}
+	return e.runRound(n, startNs)
+}
+
+// runRound prices one lockstep round — one training step of every active
+// job — through the node's runtime and schedules the round-end event.
+func (e *engineState) runRound(n int, startNs float64) error {
+	ns := e.nodes[n]
+	w := ns.wave
+	jobs := make([]WaveJob, len(w.active))
+	for k, ji := range w.active {
+		sp := e.specs[ji]
+		jobs[k] = WaveJob{Name: sp.Name, Model: sp.Model, Priority: sp.Priority, Weight: sp.Weight}
+	}
+	res, err := ns.rt.RunWave(jobs)
+	if err != nil {
+		return fmt.Errorf("place: wave %d on node %d: %w", w.ord, n, err)
+	}
+	w.res = res
+	w.roundStartNs = startNs
+	w.roundEndNs = startNs + res.TotalNs
+	w.drainNs = w.roundEndNs + e.drainTailNs(w)
+	ns.busyNs += res.TotalNs
+	e.push(n)
+	return nil
+}
+
+// drainTailNs estimates the wave's remaining duration past the current
+// round under the lockstep model with the current round's per-step
+// makespans frozen: future round r lasts as long as the longest step among
+// the jobs with more than r rounds still to run. Zero when every active
+// job retires its last step this round — the single-step case. Sorting by
+// remaining rounds and walking suffix maxima keeps the cost
+// O(jobs log jobs + total rounds) instead of quadratic in the step count.
+func (e *engineState) drainTailNs(w *waveState) float64 {
+	type tail struct {
+		rem  int
+		span float64
+	}
+	tails := make([]tail, len(w.active))
+	for k, ji := range w.active {
+		tails[k] = tail{rem: e.steps[ji] - e.done[ji] - 1, span: w.res.Jobs[k].MakespanNs}
+	}
+	sort.Slice(tails, func(a, b int) bool { return tails[a].rem > tails[b].rem })
+	// Walk rounds from the farthest back: the active set only grows as r
+	// decreases, so a running maximum over the sorted prefix prices each
+	// round in amortized O(1).
+	total, longest := 0.0, 0.0
+	idx := 0
+	if len(tails) == 0 {
+		return 0
+	}
+	for r := tails[0].rem - 1; r >= 0; r-- {
+		for idx < len(tails) && tails[idx].rem > r {
+			if tails[idx].span > longest {
+				longest = tails[idx].span
+			}
+			idx++
+		}
+		total += longest
+	}
+	return total
+}
+
+// finishRound retires the current round at its end: every active job
+// banks one step; jobs out of steps complete, and the wave either ends,
+// is cut into checkpoints, or rolls into its next round.
+func (e *engineState) finishRound(n int) error {
+	ns := e.nodes[n]
+	w := ns.wave
+	t := w.roundEndNs
+	var remain []int
+	for k, ji := range w.active {
+		jr := w.res.Jobs[k]
+		e.done[ji]++
+		p := &e.placed[ji]
+		p.SoloNs += jr.SoloNs
+		if e.done[ji] >= e.steps[ji] {
+			// The job's last step: it leaves the wave at its own step's
+			// finish inside the round, not the round's end.
+			p.CoRunNs += jr.MakespanNs
+			p.FinishNs = w.roundStartNs + jr.MakespanNs
+			if p.SoloNs > 0 {
+				p.CoRunSlowdown = p.CoRunNs / p.SoloNs
+				p.Slowdown = p.JCTNs() / p.SoloNs
+			}
+			p.DeadlineMet = p.DeadlineNs > 0 && p.FinishNs <= p.DeadlineNs
+			e.completed++
+		} else {
+			// Lockstep: the job waits out the round before its next step.
+			p.CoRunNs += w.res.TotalNs
+			remain = append(remain, ji)
+		}
+	}
+	switch {
+	case len(remain) == 0:
+		ns.wave = nil
+		ns.freeNs = t
+		e.push(n)
+	case w.cut:
+		ns.wave = nil
+		ns.freeNs = t
+		e.checkpointWave(n, remain, t)
+		e.push(n)
+	default:
+		// The gang shrank only if someone completed; an unchanged gang
+		// re-prices to the identical round (RunWave is a deterministic
+		// pure function of the job set), so reuse the result instead of
+		// re-simulating — an S-step wave costs one simulation per
+		// distinct membership, not per round.
+		if len(remain) == len(w.active) {
+			w.roundStartNs = t
+			w.roundEndNs = t + w.res.TotalNs
+			w.drainNs = w.roundEndNs + e.drainTailNs(w)
+			ns.busyNs += w.res.TotalNs
+			e.push(n)
+			return nil
+		}
+		w.active = remain
+		return e.runRound(n, t)
+	}
+	return nil
+}
+
+// checkpointWave captures every unfinished job of a cut wave at the step
+// boundary t and re-places each through the migrator: the job restarts on
+// the node where its remaining steps are predicted to finish soonest,
+// paying the interconnect for checkpoint state plus re-staging when that
+// node is not the one it was preempted from.
+func (e *engineState) checkpointWave(from int, remain []int, t float64) {
+	for _, ji := range remain {
+		sp := e.specs[ji]
+		mi := e.info(sp.Model)
+		cp := preempt.Checkpoint{
+			Job: ji, Name: sp.Name, Model: sp.Model, Node: from,
+			StepsDone: e.done[ji], Steps: e.steps[ji],
+			StateBytes: mi.paramBytes, TakenNs: t,
+		}
+		targets := make([]preempt.Target, len(e.nodes))
+		for i, ns := range e.nodes {
+			xfer := 0.0
+			if i != from {
+				xfer = e.ic.TransferNs(cp.StateBytes) + mi.xferNs
+			}
+			targets[i] = preempt.Target{
+				Index: i, Kind: ns.rt.Kind(), Capacity: ns.rt.Capacity(),
+				FreeNs: ns.viewFreeNs(), Resident: ns.residentCount(),
+				Queued: len(ns.queue), QueuedWorkNs: ns.queuedWorkNs,
+				WorkNs: float64(cp.StepsLeft()) * ns.rt.SoloWorkNs(sp.Model),
+				Alpha:  ns.rt.WaveAlpha(), TransferNs: xfer,
+			}
+		}
+		tgt := e.migrator.Pick(t, targets)
+		p := &e.placed[ji]
+		p.Preemptions++
+		if tgt != from {
+			p.Migrations++
+			e.path[ji] = append(e.path[ji], e.pathSeg(tgt))
+		}
+		tn := e.nodes[tgt]
+		p.Node = tgt
+		p.Kind = tn.rt.Kind()
+		e.readyNs[ji] = t + targets[tgt].TransferNs
+		e.checkpointNs[ji] = t
+		tn.queue = append(tn.queue, ji)
+		tn.queuedWorkNs += targets[tgt].WorkNs
+		if e.readyNs[ji] < tn.minReadyNs {
+			tn.minReadyNs = e.readyNs[ji]
+		}
+		e.push(tgt)
+	}
 }
 
 // buildRuntimes resolves every node descriptor to its NodeRuntime, sharing
@@ -315,26 +771,4 @@ func buildRuntimes(descs []Node, arb multijob.Arbiter, cfg core.Config, graphFor
 		rts[i] = rt
 	}
 	return rts
-}
-
-// views snapshots every node for a policy decision at nowNs: per-node
-// hardware kind and capacity, the queued work priced on that hardware
-// (maintained incrementally, not rescanned), and the arriving model's
-// predicted solo work on that hardware.
-func views(nodes []*nodeState, model string, nowNs float64) []NodeView {
-	vs := make([]NodeView, len(nodes))
-	for i, ns := range nodes {
-		v := NodeView{
-			Index: i, Kind: ns.rt.Kind(), Capacity: ns.rt.Capacity(),
-			FreeNs: ns.freeNs, Queued: len(ns.queue),
-			QueuedWorkNs: ns.queuedWorkNs,
-			JobWorkNs:    ns.rt.SoloWorkNs(model),
-			Alpha:        ns.rt.WaveAlpha(),
-		}
-		if ns.freeNs > nowNs {
-			v.Resident = ns.resident
-		}
-		vs[i] = v
-	}
-	return vs
 }

@@ -98,6 +98,13 @@ type NodeRuntime interface {
 	// Capacity is the maximum number of jobs one gang wave may co-run:
 	// physical cores on a CPU node, streams on a GPU node.
 	Capacity() int
+	// MemCapacityBytes is the device-memory budget a wave's resident
+	// working sets must fit within; 0 means memory does not bound wave
+	// admission on this hardware (a CPU node pages to DDR).
+	MemCapacityBytes() float64
+	// JobMemBytes estimates one resident job's working set on this
+	// hardware; 0 when MemCapacityBytes is 0.
+	JobMemBytes(model string) float64
 	// WaveAlpha is the per-co-runner finish-time inflation the
 	// model-aware policy prices a resident job at on this hardware.
 	WaveAlpha() float64
@@ -126,10 +133,12 @@ type cpuRuntime struct {
 // throughput on a manycore node.
 const cpuMeshAlpha = 0.22
 
-func (c *cpuRuntime) Kind() string       { return KindCPU }
-func (c *cpuRuntime) Hardware() string   { return c.m.String() }
-func (c *cpuRuntime) Capacity() int      { return c.m.Cores }
-func (c *cpuRuntime) WaveAlpha() float64 { return cpuMeshAlpha }
+func (c *cpuRuntime) Kind() string               { return KindCPU }
+func (c *cpuRuntime) Hardware() string           { return c.m.String() }
+func (c *cpuRuntime) Capacity() int              { return c.m.Cores }
+func (c *cpuRuntime) WaveAlpha() float64         { return cpuMeshAlpha }
+func (c *cpuRuntime) MemCapacityBytes() float64  { return 0 }
+func (c *cpuRuntime) JobMemBytes(string) float64 { return 0 }
 
 func (c *cpuRuntime) SoloWorkNs(model string) float64 {
 	if w, ok := c.work[model]; ok {
@@ -172,10 +181,15 @@ type gpuRuntime struct {
 	work     map[string]gpu.GraphWork
 }
 
-func (g *gpuRuntime) Kind() string       { return KindGPU }
-func (g *gpuRuntime) Hardware() string   { return g.d.String() }
-func (g *gpuRuntime) Capacity() int      { return g.d.StreamCapacity() }
-func (g *gpuRuntime) WaveAlpha() float64 { return g.d.CoRunAlpha() }
+func (g *gpuRuntime) Kind() string              { return KindGPU }
+func (g *gpuRuntime) Hardware() string          { return g.d.String() }
+func (g *gpuRuntime) Capacity() int             { return g.d.StreamCapacity() }
+func (g *gpuRuntime) WaveAlpha() float64        { return g.d.CoRunAlpha() }
+func (g *gpuRuntime) MemCapacityBytes() float64 { return g.d.MemBytes() }
+
+// JobMemBytes is the model's estimated HBM working set — parameters with
+// optimizer state plus retained activations (gpu.WorkingSetBytes).
+func (g *gpuRuntime) JobMemBytes(model string) float64 { return g.graphWork(model).WorkingSetBytes }
 
 func (g *gpuRuntime) graphWork(model string) gpu.GraphWork {
 	if w, ok := g.work[model]; ok {

@@ -38,6 +38,7 @@ package place
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"opsched/internal/cluster"
@@ -63,6 +64,19 @@ type JobSpec struct {
 	// DeadlineNs is an absolute completion deadline on the cluster clock;
 	// 0 means none. Deadlines are reported, not enforced.
 	DeadlineNs float64
+	// Steps is the number of training steps the job runs; <= 0 means 1.
+	// Step boundaries are where the preemption subsystem may cut a running
+	// wave: a multi-step job can be checkpointed between steps and resume
+	// — possibly on another node — with no completed work lost.
+	Steps int
+}
+
+// steps is the job's effective step count.
+func (j JobSpec) steps() int {
+	if j.Steps <= 0 {
+		return 1
+	}
+	return j.Steps
 }
 
 func (j JobSpec) label(i int) string {
@@ -101,6 +115,9 @@ func (w Workload) Validate() error {
 		if j.DeadlineNs > 0 && j.DeadlineNs < j.ArrivalNs {
 			return fmt.Errorf("place: job %d (%s) has deadline %v before arrival %v",
 				i, j.label(i), j.DeadlineNs, j.ArrivalNs)
+		}
+		if j.Steps < 0 {
+			return fmt.Errorf("place: job %d (%s) has negative step count %d", i, j.label(i), j.Steps)
 		}
 	}
 	return nil
@@ -223,6 +240,12 @@ type Options struct {
 	// Config is the per-job runtime configuration; nil means the full
 	// strategy set (core.AllStrategies).
 	Config *core.Config
+	// Preempt is the preemption trigger spec (preempt.ParseTriggers): ""
+	// or "off" runs every wave to completion; "none" arms the preemptive
+	// engine with no triggers (its output is byte-identical to "off");
+	// "all" arms every built-in trigger; otherwise a "+"-separated list
+	// of trigger names, e.g. "priority+deadline".
+	Preempt string
 }
 
 func (o Options) policy() string {
@@ -281,6 +304,23 @@ type PlacedJob struct {
 	// DeadlineNs for jobs that have one (false when DeadlineNs is 0).
 	DeadlineNs  float64
 	DeadlineMet bool
+	// Steps echoes the job's step count; StepsDone counts the steps the
+	// engine actually retired — always equal to Steps at completion, and
+	// derived from execution, not the spec, so the work-conservation
+	// property tests can catch an engine that loses or invents rounds.
+	// Preemptions counts the times the
+	// job was checkpointed out of a cut wave; Migrations the checkpoint
+	// restores that landed on a different node. Path renders the node
+	// sequence the job executed on ("n00/cpu -> n03/gpu"); it is empty
+	// when the job never moved. DisruptionNs totals the time between each
+	// checkpoint capture and the start of the wave that resumed the job —
+	// transfer and re-queueing included.
+	Steps        int
+	StepsDone    int
+	Preemptions  int
+	Migrations   int
+	Path         string
+	DisruptionNs float64
 }
 
 // JCTNs is the job completion time: finish minus arrival.
@@ -325,6 +365,18 @@ type Result struct {
 	// them, out of all jobs that had one.
 	DeadlinesMet   int
 	DeadlinesTotal int
+	// Preempt echoes the trigger spec the run used ("off" when disabled).
+	// TriggerFirings counts the wave cuts the triggers requested;
+	// Preemptions the jobs checkpointed out of cut waves; Migrations the
+	// checkpoint restores that moved nodes; DisruptionNs the summed
+	// per-job disruption. All four are zero in a run-to-completion run —
+	// and in a preemptive run whose triggers never fired, whose report is
+	// byte-identical to it.
+	Preempt        string
+	TriggerFirings int
+	Preemptions    int
+	Migrations     int
+	DisruptionNs   float64
 	// Jobs holds per-job outcomes in workload (input) order.
 	Jobs []PlacedJob
 	// NodeStats holds per-node usage in node-index order.
@@ -370,6 +422,9 @@ func (r *Result) finalize() {
 				r.DeadlinesMet++
 			}
 		}
+		r.Preemptions += p.Preemptions
+		r.Migrations += p.Migrations
+		r.DisruptionNs += p.DisruptionNs
 	}
 	if n := float64(len(r.Jobs)); n > 0 {
 		r.MeanJCTNs = jctSum / n
@@ -383,11 +438,39 @@ func (r *Result) finalize() {
 	}
 }
 
+// QueuePercentileNs returns the p-quantile (p in [0,1], nearest-rank) of
+// the per-job queueing delays — the tail-latency metric the preemption
+// experiments report alongside deadline-hit rate.
+func (r *Result) QueuePercentileNs(p float64) float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	qs := make([]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		qs[i] = j.QueueNs
+	}
+	sort.Float64s(qs)
+	if p <= 0 {
+		return qs[0]
+	}
+	k := int(math.Ceil(p*float64(len(qs)))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(qs) {
+		k = len(qs) - 1
+	}
+	return qs[k]
+}
+
 // Render formats the result as a deterministic report table: byte-identical
 // output for identical inputs, whatever parallelism produced the Result.
 // Column widths adapt to the content — node indices stay aligned past two
 // digits — and every job row and node line carries the node's hardware
-// kind.
+// kind. Preemption columns (per-job checkpoint count and migration path)
+// and the preemption summary clause appear only when the run actually
+// preempted something, so a run whose triggers never fire renders exactly
+// like a run-to-completion one.
 func (r *Result) Render() string {
 	nameW, modelW := len("job"), len("model")
 	for _, p := range r.Jobs {
@@ -408,12 +491,23 @@ func (r *Result) Render() string {
 			waveW = w
 		}
 	}
+	preempted := r.Preemptions > 0
+	pathW := len("path")
+	for _, p := range r.Jobs {
+		if len(p.Path) > pathW {
+			pathW = len(p.Path)
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "placement: %d jobs over %d nodes, policy=%s, arbiter=%s, fleet=%s\n",
 		len(r.Jobs), r.Nodes, r.Policy, r.Arbiter, r.Fleet)
-	fmt.Fprintf(&b, "  %-*s  %-*s  %*s  %-3s  %*s  %10s  %10s  %10s  %10s  %8s  %8s\n",
+	fmt.Fprintf(&b, "  %-*s  %-*s  %*s  %-3s  %*s  %10s  %10s  %10s  %10s  %8s  %8s",
 		nameW, "job", modelW, "model", nodeW, "node", "hw", waveW, "wave",
 		"arrive(ms)", "queue(ms)", "corun(ms)", "jct(ms)", "slowdown", "deadline")
+	if preempted {
+		fmt.Fprintf(&b, "  %3s  %-*s", "pre", pathW, "path")
+	}
+	b.WriteString("\n")
 	for _, p := range r.Jobs {
 		deadline := "-"
 		if p.DeadlineNs > 0 {
@@ -423,9 +517,17 @@ func (r *Result) Render() string {
 				deadline = "MISS"
 			}
 		}
-		fmt.Fprintf(&b, "  %-*s  %-*s  %*d  %-3s  %*d  %10.3f  %10.3f  %10.3f  %10.3f  %7.2fx  %8s\n",
+		fmt.Fprintf(&b, "  %-*s  %-*s  %*d  %-3s  %*d  %10.3f  %10.3f  %10.3f  %10.3f  %7.2fx  %8s",
 			nameW, p.Name, modelW, p.Model, nodeW, p.Node, p.Kind, waveW, p.Wave,
 			p.ArrivalNs/1e6, p.QueueNs/1e6, p.CoRunNs/1e6, p.JCTNs()/1e6, p.Slowdown, deadline)
+		if preempted {
+			path := p.Path
+			if path == "" {
+				path = "-"
+			}
+			fmt.Fprintf(&b, "  %3d  %-*s", p.Preemptions, pathW, path)
+		}
+		b.WriteString("\n")
 	}
 	idxW := len(fmt.Sprintf("%d", r.Nodes-1))
 	for _, ns := range r.NodeStats {
@@ -436,6 +538,10 @@ func (r *Result) Render() string {
 		r.MakespanNs/1e6, r.MeanJCTNs/1e6, r.MeanQueueNs/1e6, r.FairnessIndex)
 	if r.DeadlinesTotal > 0 {
 		fmt.Fprintf(&b, ", deadlines %d/%d met", r.DeadlinesMet, r.DeadlinesTotal)
+	}
+	if preempted {
+		fmt.Fprintf(&b, ", preemptions %d (%d migrated, %d trigger firings), disruption %.3f ms",
+			r.Preemptions, r.Migrations, r.TriggerFirings, r.DisruptionNs/1e6)
 	}
 	b.WriteString("\n")
 	return b.String()

@@ -1,0 +1,508 @@
+package place
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"opsched/internal/gpu"
+	"opsched/internal/nn"
+)
+
+// preemptScenario is a single CPU node pinned down by a long multi-step
+// wave when a high-priority deadline job arrives mid-wave: the situation
+// the preemption subsystem exists for.
+func preemptScenario() (Workload, Cluster) {
+	w := Workload{
+		{Name: "long", Model: "lstm", ArrivalNs: 0, Priority: 0, Steps: 5},
+		{Name: "urgent", Model: "lstm", ArrivalNs: 40e6, Priority: 5, Steps: 1, DeadlineNs: 120e6},
+	}
+	return w, Cluster{Nodes: 1}
+}
+
+// TestPriorityPreemptionCutsTheWave: with the priority trigger armed, the
+// urgent arrival cuts the resident wave at its next step boundary, starts
+// generations earlier than under run-to-completion, and the long job —
+// checkpointed, never losing a completed step — still retires all its
+// steps.
+func TestPriorityPreemptionCutsTheWave(t *testing.T) {
+	w, c := preemptScenario()
+	rtc, err := PlaceJobs(w, c, Options{Policy: "model-aware", Arbiter: "priority"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := PlaceJobs(w, c, Options{Policy: "model-aware", Arbiter: "priority", Preempt: "priority"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Preemptions == 0 || pre.TriggerFirings == 0 {
+		t.Fatalf("priority trigger never fired: %d preemptions, %d firings", pre.Preemptions, pre.TriggerFirings)
+	}
+	urgentRTC, urgentPre := rtc.Jobs[1], pre.Jobs[1]
+	if urgentPre.StartNs >= urgentRTC.StartNs {
+		t.Errorf("urgent job started at %.1f ms preemptive vs %.1f ms run-to-completion — preemption did not help",
+			urgentPre.StartNs/1e6, urgentRTC.StartNs/1e6)
+	}
+	long := pre.Jobs[0]
+	if long.Preemptions == 0 {
+		t.Errorf("long job records no preemptions: %+v", long)
+	}
+	if long.DisruptionNs < 0 || pre.DisruptionNs != long.DisruptionNs+urgentPre.DisruptionNs {
+		t.Errorf("disruption accounting inconsistent: job %v+%v vs result %v",
+			long.DisruptionNs, urgentPre.DisruptionNs, pre.DisruptionNs)
+	}
+	if long.FinishNs <= 0 || long.Steps != 5 {
+		t.Errorf("preempted job did not complete all steps: %+v", long)
+	}
+	// The checkpointed job re-queues on its own node with no transfer to
+	// pay, so it joins the very wave the urgent job starts in — preemption
+	// reorders, it does not idle the victim.
+	if long.Wave != urgentPre.Wave {
+		t.Errorf("long job resumed in wave %d, urgent ran in wave %d — expected a shared wave",
+			long.Wave, urgentPre.Wave)
+	}
+	// A checkpoint resuming on its own node is not a new job: node stats
+	// still count each job once.
+	if got := pre.NodeStats[0].Jobs; got != len(w) {
+		t.Errorf("node 0 counts %d executed jobs, want %d (same-node resume must not double-count)",
+			got, len(w))
+	}
+	r := pre.Render()
+	for _, want := range []string{"pre", "path", "preemptions"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("preemptive render missing %q:\n%s", want, r)
+		}
+	}
+	if strings.Contains(rtc.Render(), "preemptions") {
+		t.Errorf("run-to-completion render mentions preemptions:\n%s", rtc.Render())
+	}
+}
+
+// TestZeroTriggerPreemptiveRunIsByteIdentical is property (c): arming the
+// preemptive engine with an empty trigger set ("none") — or with triggers
+// that never fire — renders byte-identically to the run-to-completion
+// engine, single-step and multi-step workloads alike.
+func TestZeroTriggerPreemptiveRunIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full placements per seed")
+	}
+	prop := func(seed uint16, polIdx, maxSteps uint8) bool {
+		policy := Policies()[int(polIdx)%len(Policies())]
+		steps := 1 + int(maxSteps)%3
+		w, err := SyntheticSteps(5, uint64(seed)+1, []string{nn.LSTM, nn.DCGAN}, 1e6, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := Cluster{Nodes: 1, GPUs: 1}
+		off, err := PlaceJobs(w, c, Options{Policy: policy})
+		if err != nil {
+			t.Logf("seed=%d policy=%s off: %v", seed, policy, err)
+			return false
+		}
+		none, err := PlaceJobs(w, c, Options{Policy: policy, Preempt: "none"})
+		if err != nil {
+			t.Logf("seed=%d policy=%s none: %v", seed, policy, err)
+			return false
+		}
+		if off.Render() != none.Render() {
+			t.Logf("seed=%d policy=%s steps=%d renders differ:\n%s\nvs\n%s",
+				seed, policy, steps, off.Render(), none.Render())
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 4, Rand: rand.New(rand.NewSource(29))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPreemptionConservesWork is property (a) + (b): under armed triggers
+// every job still retires exactly its step count (checkpoints never lose a
+// completed step, total completed steps match the run-to-completion run)
+// and every slowdown stays >= 1 — preemption delays work, it never
+// invents progress.
+func TestPreemptionConservesWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full placements per seed")
+	}
+	prop := func(seed uint16, polIdx uint8) bool {
+		policy := Policies()[int(polIdx)%len(Policies())]
+		w, err := SyntheticSteps(6, uint64(seed)+1, []string{nn.LSTM, nn.DCGAN}, 1e6, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := Cluster{Nodes: 1, GPUs: 1}
+		rtc, err := PlaceJobs(w, c, Options{Policy: policy})
+		if err != nil {
+			t.Logf("seed=%d policy=%s rtc: %v", seed, policy, err)
+			return false
+		}
+		pre, err := PlaceJobs(w, c, Options{Policy: policy, Preempt: "all"})
+		if err != nil {
+			t.Logf("seed=%d policy=%s preempt: %v", seed, policy, err)
+			return false
+		}
+		var stepsRTC, stepsPre int
+		for i := range w {
+			stepsRTC += rtc.Jobs[i].StepsDone
+			stepsPre += pre.Jobs[i].StepsDone
+			if pre.Jobs[i].StepsDone != w[i].steps() {
+				t.Logf("seed=%d job %d retired %d steps, want %d", seed, i, pre.Jobs[i].StepsDone, w[i].steps())
+				return false
+			}
+			if pre.Jobs[i].FinishNs <= 0 {
+				t.Logf("seed=%d job %d never finished", seed, i)
+				return false
+			}
+			if pre.Jobs[i].Slowdown < 1-1e-9 || pre.Jobs[i].CoRunSlowdown < 1-1e-9 {
+				t.Logf("seed=%d job %d slowdown %.4f (corun %.4f) < 1",
+					seed, i, pre.Jobs[i].Slowdown, pre.Jobs[i].CoRunSlowdown)
+				return false
+			}
+			if pre.Jobs[i].DisruptionNs < 0 {
+				t.Logf("seed=%d job %d negative disruption", seed, i)
+				return false
+			}
+		}
+		if stepsRTC != stepsPre {
+			t.Logf("seed=%d completed steps %d preemptive vs %d run-to-completion", seed, stepsPre, stepsRTC)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 5, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPreemptiveDeterminism: a preemptive run is reproducible — identical
+// inputs render byte-identical reports (the sweep tests additionally pin
+// parallel 1 vs 8).
+func TestPreemptiveDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full placements twice per seed")
+	}
+	prop := func(seed uint16, polIdx uint8) bool {
+		policy := Policies()[int(polIdx)%len(Policies())]
+		w, err := SyntheticSteps(6, uint64(seed)+1, []string{nn.LSTM, nn.DCGAN}, 1e6, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := Cluster{Nodes: 1, GPUs: 1}
+		a, err := PlaceJobs(w, c, Options{Policy: policy, Preempt: "all"})
+		if err != nil {
+			t.Logf("seed=%d policy=%s: %v", seed, policy, err)
+			return false
+		}
+		b, err := PlaceJobs(w, c, Options{Policy: policy, Preempt: "all"})
+		if err != nil {
+			t.Logf("seed=%d policy=%s rerun: %v", seed, policy, err)
+			return false
+		}
+		if a.Render() != b.Render() {
+			t.Logf("seed=%d policy=%s renders differ", seed, policy)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 4, Rand: rand.New(rand.NewSource(37))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMigrationMovesNodesAndRendersPath: with the load trigger armed on a
+// two-node fleet where one node hoards a multi-step wave, checkpointed
+// jobs migrate to the idle node, the per-job path names both hops, and
+// the migration pays a positive disruption.
+func TestMigrationMovesNodesAndRendersPath(t *testing.T) {
+	// Everything binpacks onto node 0; node 1 idles. The arrival of the
+	// last job (mid-wave) trips the load trigger, and the cut wave's
+	// unfinished jobs re-price onto the idle node.
+	w := Workload{
+		{Name: "a", Model: "lstm", ArrivalNs: 0, Steps: 4},
+		{Name: "b", Model: "lstm", ArrivalNs: 0, Steps: 4},
+		{Name: "late", Model: "lstm", ArrivalNs: 40e6, Steps: 1},
+	}
+	res, err := PlaceJobs(w, Cluster{Nodes: 2}, Options{Policy: "binpack", Preempt: "load"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Fatalf("no migrations on a hoarded two-node fleet:\n%s", res.Render())
+	}
+	migrated := false
+	for _, p := range res.Jobs {
+		if p.Migrations > 0 {
+			migrated = true
+			if !strings.Contains(p.Path, " -> ") {
+				t.Errorf("migrated job %s has path %q, want a two-hop path", p.Name, p.Path)
+			}
+			if p.DisruptionNs <= 0 {
+				t.Errorf("migrated job %s reports no disruption", p.Name)
+			}
+		}
+	}
+	if !migrated {
+		t.Error("result counts migrations but no job records one")
+	}
+	if !strings.Contains(res.Render(), " -> ") {
+		t.Errorf("render shows no migration path:\n%s", res.Render())
+	}
+	// A migrated job executed on both nodes, so the per-node job counts
+	// sum to the workload plus one per cross-node move — no more.
+	total := 0
+	for _, ns := range res.NodeStats {
+		total += ns.Jobs
+	}
+	if total != len(w)+res.Migrations {
+		t.Errorf("node stats count %d executed jobs, want %d (+%d migrations over %d jobs)",
+			total, len(w)+res.Migrations, res.Migrations, len(w))
+	}
+}
+
+// TestGPUMemoryBoundsWaveAdmission: on a device whose HBM only fits one
+// DCGAN working set, simultaneous arrivals serialize into memory-bound
+// waves instead of packing one wave per stream capacity — and a lone
+// oversized job still runs.
+func TestGPUMemoryBoundsWaveAdmission(t *testing.T) {
+	ws := gpu.WorkingSetBytes(nn.MustBuild(nn.DCGAN).Graph)
+	d := gpu.NewP100()
+	d.HBMBytes = ws * 1.5 // one fits, two don't
+	w := Workload{
+		{Name: "a", Model: "dcgan", ArrivalNs: 0},
+		{Name: "b", Model: "dcgan", ArrivalNs: 0},
+	}
+	res, err := PlaceJobs(w, Cluster{GPUs: 1, GPU: d}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Wave == res.Jobs[1].Wave {
+		t.Errorf("two DCGANs shared a wave on a 1.5-working-set device:\n%s", res.Render())
+	}
+	// A device too small for even one working set still runs a lone job.
+	d2 := gpu.NewP100()
+	d2.HBMBytes = ws / 2
+	lone, err := PlaceJobs(Workload{{Name: "big", Model: "dcgan"}}, Cluster{GPUs: 1, GPU: d2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lone.Jobs[0].FinishNs <= 0 {
+		t.Error("oversized lone job never ran")
+	}
+	// Plenty of memory: both share one wave (stream capacity permitting).
+	both, err := PlaceJobs(w, Cluster{GPUs: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Jobs[0].Wave != both.Jobs[1].Wave {
+		t.Errorf("two small jobs split waves on a 16 GB device:\n%s", both.Render())
+	}
+}
+
+// TestGPUShortestFirstAdmission: when more ready jobs are staged than the
+// device has streams, the wave packs shortest-predicted-first; against the
+// FIFO packing (computed by hand through the same fluid co-run model) mean
+// JCT improves while the makespan stays equal.
+func TestGPUShortestFirstAdmission(t *testing.T) {
+	d := gpu.NewP100()
+	d.Streams = 2
+	// A blocker occupies the device while the four contenders stage, so at
+	// the blocker wave's end every contender is ready at once: FIFO would
+	// admit the two LSTMs (placement order), shortest-first flips the
+	// waves and runs the DCGANs first.
+	w := Workload{
+		{Name: "blocker", Model: "dcgan", ArrivalNs: 0},
+		{Name: "long0", Model: "lstm", ArrivalNs: 1e5},
+		{Name: "long1", Model: "lstm", ArrivalNs: 1e5},
+		{Name: "short0", Model: "dcgan", ArrivalNs: 1e5},
+		{Name: "short1", Model: "dcgan", ArrivalNs: 1e5},
+	}
+	res, err := PlaceJobs(w, Cluster{GPUs: 1, GPU: d}, Options{Policy: "binpack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DCGANs (shorter on the GPU) must run in wave 1, the LSTMs in 2.
+	for _, p := range res.Jobs[1:] {
+		wantWave := 2
+		if p.Model == nn.DCGAN {
+			wantWave = 1
+		}
+		if p.Wave != wantWave {
+			t.Fatalf("%s in wave %d, want %d (shortest-first packing):\n%s", p.Name, p.Wave, wantWave, res.Render())
+		}
+	}
+	// FIFO baseline by hand through the same fluid model: wave 1 = the two
+	// LSTMs from the blocker wave's end, wave 2 = the two DCGANs after it.
+	lstmWork := d.PredictGraphWork(nn.MustBuild(nn.LSTM).Graph)
+	dcganWork := d.PredictGraphWork(nn.MustBuild(nn.DCGAN).Graph)
+	_, lstmTotal, err := d.CoRunWave([]gpu.GraphWork{lstmWork, lstmWork})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dcganTotal, err := d.CoRunWave([]gpu.GraphWork{dcganWork, dcganWork})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := res.Jobs[0].FinishNs // blocker wave end: every contender is staged by then
+	for _, p := range res.Jobs[1:] {
+		if p.ReadyNs > t1 {
+			t.Fatalf("%s staged at %.3f ms, after the blocker wave end %.3f ms", p.Name, p.ReadyNs/1e6, t1/1e6)
+		}
+	}
+	// Equal-work pairs finish their wave together, so per-job makespans
+	// equal the wave totals.
+	fifoJCT := (2*(t1+lstmTotal-1e5) + 2*(t1+lstmTotal+dcganTotal-1e5)) / 4
+	fifoMakespan := t1 + lstmTotal + dcganTotal
+	gotJCT := 0.0
+	for _, p := range res.Jobs[1:] {
+		gotJCT += p.JCTNs()
+	}
+	gotJCT /= 4
+	if gotJCT >= fifoJCT {
+		t.Errorf("shortest-first mean JCT %.3f ms not below FIFO's %.3f ms", gotJCT/1e6, fifoJCT/1e6)
+	}
+	if diff := res.MakespanNs - fifoMakespan; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("shortest-first makespan %.6f ms != FIFO's %.6f ms", res.MakespanNs/1e6, fifoMakespan/1e6)
+	}
+}
+
+// TestGPUShortestFirstUsesRemainingWork: the packing order prices a job's
+// REMAINING work, not its per-step time — an 8-step DCGAN (cheap steps,
+// 8x the total) queues behind a single-step LSTM despite the LSTM's
+// longer individual step.
+func TestGPUShortestFirstUsesRemainingWork(t *testing.T) {
+	d := gpu.NewP100()
+	d.Streams = 1 // one job per wave: admission order is wave order
+	w := Workload{
+		{Name: "blocker", Model: "dcgan", ArrivalNs: 0},
+		{Name: "many-steps", Model: "dcgan", ArrivalNs: 1e5, Steps: 8},
+		{Name: "one-step", Model: "lstm", ArrivalNs: 1e5, Steps: 1},
+	}
+	res, err := PlaceJobs(w, Cluster{GPUs: 1, GPU: d}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[2].Wave != 1 || res.Jobs[1].Wave != 2 {
+		t.Errorf("one-step LSTM in wave %d, 8-step DCGAN in wave %d — want remaining-work order 1 then 2:\n%s",
+			res.Jobs[2].Wave, res.Jobs[1].Wave, res.Render())
+	}
+}
+
+// TestPreemptionBeatsRunToCompletionEndToEnd is the in-repo version of the
+// committed EXPERIMENTS.md run (examples/preempt): on a mixed 2 CPU +
+// 2 GPU fleet pinned down by long multi-step waves, a late burst of
+// high-priority deadline jobs misses every deadline run-to-completion but
+// hits all of them once the priority+deadline triggers land — with a
+// strictly better p99 queueing delay and a makespan within 5%.
+func TestPreemptionBeatsRunToCompletionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full mixed-fleet placements")
+	}
+	w := Workload{
+		{Name: "bg-lstm-0", Model: "lstm", ArrivalNs: 0.0e6, Steps: 4},
+		{Name: "bg-lstm-1", Model: "lstm", ArrivalNs: 0.2e6, Steps: 4},
+		{Name: "bg-dcgan-0", Model: "dcgan", ArrivalNs: 0.4e6, Steps: 8},
+		{Name: "bg-dcgan-1", Model: "dcgan", ArrivalNs: 0.6e6, Steps: 8},
+		{Name: "hot-dcgan-0", Model: "dcgan", ArrivalNs: 40e6, Priority: 5, Steps: 1, DeadlineNs: 75e6},
+		{Name: "hot-dcgan-1", Model: "dcgan", ArrivalNs: 41e6, Priority: 5, Steps: 1, DeadlineNs: 76e6},
+		{Name: "hot-lstm-0", Model: "lstm", ArrivalNs: 42e6, Priority: 5, Steps: 1, DeadlineNs: 110e6},
+		{Name: "hot-lstm-1", Model: "lstm", ArrivalNs: 43e6, Priority: 5, Steps: 1, DeadlineNs: 111e6},
+	}
+	c := Cluster{Nodes: 2, GPUs: 2}
+	opts := Options{Policy: "model-aware", Arbiter: "priority"}
+	rtc, err := PlaceJobs(w, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Preempt = "priority+deadline"
+	pre, err := PlaceJobs(w, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.DeadlinesMet <= rtc.DeadlinesMet || pre.DeadlinesMet != pre.DeadlinesTotal {
+		t.Errorf("deadlines %d/%d preemptive vs %d/%d run-to-completion — want a strict win and a clean sweep",
+			pre.DeadlinesMet, pre.DeadlinesTotal, rtc.DeadlinesMet, rtc.DeadlinesTotal)
+	}
+	if pre.QueuePercentileNs(0.99) >= rtc.QueuePercentileNs(0.99) {
+		t.Errorf("p99 queue %.3f ms preemptive not below %.3f ms run-to-completion",
+			pre.QueuePercentileNs(0.99)/1e6, rtc.QueuePercentileNs(0.99)/1e6)
+	}
+	if pre.MakespanNs > 1.05*rtc.MakespanNs {
+		t.Errorf("preemptive makespan %.3f ms blows the 5%% budget over %.3f ms",
+			pre.MakespanNs/1e6, rtc.MakespanNs/1e6)
+	}
+	if pre.Preemptions == 0 || pre.TriggerFirings == 0 {
+		t.Errorf("the win came without preempting (%d preemptions, %d firings)?",
+			pre.Preemptions, pre.TriggerFirings)
+	}
+}
+
+// TestSyntheticSteps: maxSteps <= 1 is Synthetic verbatim; otherwise steps
+// land in [1, maxSteps] deterministically, arrivals are untouched, and
+// deadlines stretch with the step count.
+func TestSyntheticSteps(t *testing.T) {
+	base := MustSynthetic(8, 7, []string{"lstm", "dcgan"}, 2e6)
+	flat, err := SyntheticSteps(8, 7, []string{"lstm", "dcgan"}, 2e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if flat[i] != base[i] {
+			t.Fatalf("maxSteps=1 job %d differs from Synthetic: %+v vs %+v", i, flat[i], base[i])
+		}
+	}
+	multi, err := SyntheticSteps(8, 7, []string{"lstm", "dcgan"}, 2e6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := SyntheticSteps(8, 7, []string{"lstm", "dcgan"}, 2e6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMulti := false
+	for i := range multi {
+		if multi[i] != again[i] {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+		if multi[i].ArrivalNs != base[i].ArrivalNs || multi[i].Model != base[i].Model {
+			t.Errorf("job %d arrival/model perturbed by steps", i)
+		}
+		if multi[i].Steps < 1 || multi[i].Steps > 4 {
+			t.Errorf("job %d steps %d outside [1,4]", i, multi[i].Steps)
+		}
+		if multi[i].Steps > 1 {
+			sawMulti = true
+		}
+		if base[i].DeadlineNs > 0 {
+			want := base[i].ArrivalNs + 25*2e6*float64(multi[i].Steps)
+			if multi[i].DeadlineNs != want {
+				t.Errorf("job %d deadline %v, want %v", i, multi[i].DeadlineNs, want)
+			}
+		}
+	}
+	if !sawMulti {
+		t.Error("no job drew more than one step at maxSteps=4")
+	}
+	if err := Workload(multi).Validate(); err != nil {
+		t.Errorf("multi-step workload fails validation: %v", err)
+	}
+	if err := (Workload{{Model: "lstm", Steps: -1}}).Validate(); err == nil {
+		t.Error("negative step count accepted")
+	}
+	if _, err := SyntheticSteps(0, 1, nil, 0, 3); err == nil {
+		t.Error("zero-job workload accepted")
+	}
+}
+
+// TestPreemptSpecValidation: a bogus trigger spec is rejected up front.
+func TestPreemptSpecValidation(t *testing.T) {
+	w := Workload{{Model: "lstm"}}
+	if _, err := PlaceJobs(w, Cluster{Nodes: 1}, Options{Preempt: "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown trigger") {
+		t.Errorf("bogus preempt spec error %v, want unknown trigger", err)
+	}
+}

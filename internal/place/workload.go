@@ -10,6 +10,18 @@ import (
 // passes a non-positive one: 2 ms, a few single-node step times.
 const defaultGapNs = 2e6
 
+// splitmix64 advances state and returns the next value of the stream —
+// the one deterministic, platform-independent generator every synthetic
+// workload axis draws from (the same seed always yields the same
+// workload).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // Synthetic builds a deterministic n-job workload from seed: models cycle
 // through the given list (any spelling nn.Resolve accepts; empty means the
 // paper's four workloads), inter-arrival gaps are uniform in
@@ -38,13 +50,8 @@ func Synthetic(n int, seed uint64, models []string, meanGapNs float64) (Workload
 	}
 
 	state := seed
-	next := func() float64 { // uniform [0,1), splitmix64
-		state += 0x9E3779B97F4A7C15
-		z := state
-		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-		z ^= z >> 31
-		return float64(z>>11) / (1 << 53)
+	next := func() float64 { // uniform [0,1)
+		return float64(splitmix64(&state)>>11) / (1 << 53)
 	}
 
 	w := make(Workload, n)
@@ -64,6 +71,34 @@ func Synthetic(n int, seed uint64, models []string, meanGapNs float64) (Workload
 			j.DeadlineNs = arrival + 25*meanGapNs
 		}
 		w[i] = j
+	}
+	return w, nil
+}
+
+// SyntheticSteps is Synthetic with multi-step jobs: step counts cycle
+// deterministically through 1..maxSteps from an independent splitmix64
+// stream (seeded off the same seed, so arrivals, priorities and the model
+// cycle are exactly Synthetic's), and each deadline stretches with its
+// job's step count so multi-step deadline jobs stay meaningful. maxSteps
+// <= 1 returns Synthetic's workload unchanged — single-step jobs are the
+// degenerate case the preemption subsystem cannot (and need not) cut.
+func SyntheticSteps(n int, seed uint64, models []string, meanGapNs float64, maxSteps int) (Workload, error) {
+	w, err := Synthetic(n, seed, models, meanGapNs)
+	if err != nil {
+		return nil, err
+	}
+	if maxSteps <= 1 {
+		return w, nil
+	}
+	if meanGapNs <= 0 {
+		meanGapNs = defaultGapNs
+	}
+	state := seed ^ 0xA5A5A5A5DEADBEEF // independent of the arrival stream
+	for i := range w {
+		w[i].Steps = 1 + int(splitmix64(&state)%uint64(maxSteps))
+		if w[i].DeadlineNs > 0 {
+			w[i].DeadlineNs = w[i].ArrivalNs + 25*meanGapNs*float64(w[i].Steps)
+		}
 	}
 	return w, nil
 }

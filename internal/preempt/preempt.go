@@ -1,0 +1,361 @@
+// Package preempt is the checkpoint/restart layer over the cluster
+// placement engine: it decides when a running gang wave should be cut
+// short at its next step boundary, captures the preempted jobs' progress
+// as checkpoints, and re-prices each checkpointed job across the fleet so
+// it restarts on the node — and the hardware — where it finishes soonest.
+//
+// The paper's thesis is that reacting to contention at runtime beats
+// committing to a static schedule; the multi-tenant scheduling literature
+// (Yu et al., 2021; the iteration-boundary schedulers surveyed by Gilman &
+// Walls, 2021) identifies checkpoint-at-step-boundary preemption as the
+// mechanism that unlocks priority and deadline policies. The division of
+// labour here mirrors the engine's policy split:
+//
+//   - a Trigger watches cluster events (a high-priority arrival, a
+//     deadline that cannot survive waiting for a wave to drain, a node
+//     hoarding work while another sits idle) and names the nodes whose
+//     waves should stop at the next per-job step boundary — never
+//     mid-step, so no completed work is ever discarded;
+//   - a Checkpoint records what the preempted job has already retired
+//     (steps completed) and what must move with it (staged parameter and
+//     optimizer state);
+//   - the Migrator re-prices the checkpointed job on every node exactly
+//     the way the model-aware placement policy prices a fresh arrival,
+//     except that a cross-node move additionally pays the interconnect
+//     transfer of the checkpoint state plus re-staging on the target.
+//
+// Everything is deterministic: triggers and the migrator are pure
+// functions of their snapshots, and ties always break on the lower node
+// index.
+package preempt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Checkpoint captures a preempted job's progress at a step boundary: what
+// it has retired, where it was running, and the state a migration must
+// ship.
+type Checkpoint struct {
+	// Job is the job's workload index; Name and Model identify it in
+	// reports.
+	Job   int
+	Name  string
+	Model string
+	// Node is the node the job was preempted from.
+	Node int
+	// StepsDone counts the training steps already retired (never lost —
+	// the wave is cut at a step boundary); Steps is the job's total.
+	StepsDone int
+	Steps     int
+	// StateBytes is the parameter/optimizer state a cross-node migration
+	// must transfer before the job can restart elsewhere.
+	StateBytes float64
+	// TakenNs is the capture time on the cluster clock.
+	TakenNs float64
+}
+
+// StepsLeft is the work the restored job still has to run.
+func (c Checkpoint) StepsLeft() int { return c.Steps - c.StepsDone }
+
+// ResidentJob is a trigger's view of one job inside a running wave.
+type ResidentJob struct {
+	// Name identifies the job; Priority and DeadlineNs echo its spec.
+	Name       string
+	Priority   int
+	DeadlineNs float64
+	// StepsDone and Steps locate the job between step boundaries;
+	// RemainingNs prices its unfinished steps on its node's hardware.
+	StepsDone   int
+	Steps       int
+	RemainingNs float64
+}
+
+// NodeSnapshot is a trigger's read-only view of one node at an event.
+type NodeSnapshot struct {
+	// Index is the node's cluster index; Kind its hardware kind.
+	Index int
+	Kind  string
+	// InWave reports whether a gang wave is in flight. RoundEndNs is the
+	// wave's next step boundary — the earliest instant a cut can take
+	// effect — and DrainNs the predicted end of the whole wave if left to
+	// run; both are meaningful only when InWave is true.
+	InWave     bool
+	RoundEndNs float64
+	DrainNs    float64
+	// Queued and QueuedWorkNs describe the staged jobs waiting behind the
+	// wave, priced on this node's hardware.
+	Queued       int
+	QueuedWorkNs float64
+	// Resident holds the in-flight wave's jobs in admission order.
+	Resident []ResidentJob
+}
+
+// Idle reports whether the node has neither a wave in flight nor staged
+// work — the receiver a load-imbalance migration wants.
+func (n NodeSnapshot) Idle() bool { return !n.InWave && n.Queued == 0 }
+
+// Arrival describes the just-placed job a trigger reacts to.
+type Arrival struct {
+	// Name and Model identify the job; Priority and DeadlineNs echo its
+	// spec.
+	Name       string
+	Model      string
+	Priority   int
+	DeadlineNs float64
+	// Node is the node the placement policy chose; WorkNs the job's
+	// predicted total work on that node's hardware; ReadyNs when its
+	// parameter staging completes there.
+	Node    int
+	WorkNs  float64
+	ReadyNs float64
+}
+
+// Trigger decides, at a cluster event, which running waves to cut short at
+// their next per-job step boundary. Implementations must be deterministic
+// pure functions of their inputs.
+type Trigger interface {
+	// Name identifies the trigger in specs and reports.
+	Name() string
+	// Fire returns the indices of the nodes whose waves should be cut,
+	// in ascending order. Nodes without a wave in flight are ignored by
+	// the caller.
+	Fire(a Arrival, nowNs float64, nodes []NodeSnapshot) []int
+}
+
+// PriorityArrival cuts the wave on the arrival's node when the arrival
+// strictly outranks every job in it: a high-priority job never waits out a
+// gang of lower-priority work, it joins the node's next wave at the
+// upcoming step boundary instead. It does not fire when the cut could not
+// help: a wave already in its final round frees the node at the boundary
+// anyway, and an arrival still staging past the boundary cannot join the
+// relaunch it would trigger.
+type PriorityArrival struct{}
+
+// Name implements Trigger.
+func (PriorityArrival) Name() string { return "priority" }
+
+// Fire implements Trigger.
+func (PriorityArrival) Fire(a Arrival, _ float64, nodes []NodeSnapshot) []int {
+	n := snapshotFor(a.Node, nodes)
+	if n == nil || !n.InWave || len(n.Resident) == 0 {
+		return nil
+	}
+	if n.DrainNs <= n.RoundEndNs || a.ReadyNs > n.RoundEndNs {
+		return nil
+	}
+	for _, r := range n.Resident {
+		if r.Priority >= a.Priority {
+			return nil
+		}
+	}
+	return []int{a.Node}
+}
+
+// DeadlineAtRisk cuts the wave on the arrival's node when the arrival
+// carries a deadline that cannot survive waiting for the wave to drain but
+// is still reachable from the wave's next step boundary — preemption fires
+// exactly when it converts a predicted miss into a predicted hit. An
+// arrival still staging past the boundary cannot join the relaunch, so
+// the trigger holds its fire rather than checkpoint a gang for nothing.
+type DeadlineAtRisk struct{}
+
+// Name implements Trigger.
+func (DeadlineAtRisk) Name() string { return "deadline" }
+
+// Fire implements Trigger.
+func (DeadlineAtRisk) Fire(a Arrival, _ float64, nodes []NodeSnapshot) []int {
+	if a.DeadlineNs <= 0 {
+		return nil
+	}
+	n := snapshotFor(a.Node, nodes)
+	if n == nil || !n.InWave || a.ReadyNs > n.RoundEndNs {
+		return nil
+	}
+	start := n.DrainNs
+	if a.ReadyNs > start {
+		start = a.ReadyNs
+	}
+	if start+a.WorkNs <= a.DeadlineNs || n.RoundEndNs+a.WorkNs > a.DeadlineNs {
+		return nil
+	}
+	return []int{a.Node}
+}
+
+// LoadImbalance cuts the wave on the arrival's node when the wave still
+// has whole rounds to run past its next step boundary while some other
+// node sits idle: the cut releases the wave's tail as checkpoints the
+// migrator can spread onto the idle hardware.
+type LoadImbalance struct{}
+
+// Name implements Trigger.
+func (LoadImbalance) Name() string { return "load" }
+
+// Fire implements Trigger.
+func (LoadImbalance) Fire(a Arrival, _ float64, nodes []NodeSnapshot) []int {
+	n := snapshotFor(a.Node, nodes)
+	if n == nil || !n.InWave || n.DrainNs <= n.RoundEndNs {
+		return nil
+	}
+	for _, o := range nodes {
+		if o.Index != n.Index && o.Idle() {
+			return []int{a.Node}
+		}
+	}
+	return nil
+}
+
+func snapshotFor(node int, nodes []NodeSnapshot) *NodeSnapshot {
+	for i := range nodes {
+		if nodes[i].Index == node {
+			return &nodes[i]
+		}
+	}
+	return nil
+}
+
+// Triggers lists the built-in trigger names in ParseTriggers' accepted
+// spelling.
+func Triggers() []string {
+	return []string{PriorityArrival{}.Name(), DeadlineAtRisk{}.Name(), LoadImbalance{}.Name()}
+}
+
+// NewTrigger resolves a trigger name ("priority", "deadline", "load") to
+// its implementation.
+func NewTrigger(name string) (Trigger, error) {
+	switch name {
+	case "priority":
+		return PriorityArrival{}, nil
+	case "deadline":
+		return DeadlineAtRisk{}, nil
+	case "load":
+		return LoadImbalance{}, nil
+	default:
+		return nil, fmt.Errorf("preempt: unknown trigger %q (have %v)", name, Triggers())
+	}
+}
+
+// ParseTriggers resolves a preemption spec to a trigger set. "" and "off"
+// disable preemption entirely (enabled == false); "none" enables the
+// preemptive engine with an empty trigger set — the zero-firing
+// configuration equivalence tests pin against the non-preemptive engine;
+// "all" is every built-in trigger; anything else is a "+"-separated list
+// of trigger names ("priority+deadline").
+func ParseTriggers(spec string) (ts []Trigger, enabled bool, err error) {
+	switch strings.TrimSpace(spec) {
+	case "", "off":
+		return nil, false, nil
+	case "none":
+		return nil, true, nil
+	case "all":
+		for _, name := range Triggers() {
+			t, _ := NewTrigger(name)
+			ts = append(ts, t)
+		}
+		return ts, true, nil
+	}
+	seen := map[string]bool{}
+	for _, name := range strings.Split(spec, "+") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		t, err := NewTrigger(name)
+		if err != nil {
+			return nil, false, err
+		}
+		ts = append(ts, t)
+	}
+	if len(ts) == 0 {
+		return nil, false, fmt.Errorf("preempt: spec %q names no triggers", spec)
+	}
+	return ts, true, nil
+}
+
+// Target is one candidate node for restoring a checkpoint: the same
+// per-hardware quantities the model-aware placement policy ranks, plus the
+// transfer the move would cost.
+type Target struct {
+	// Index is the node's cluster index; Kind its hardware kind; Capacity
+	// the jobs one gang wave may co-run there.
+	Index    int
+	Kind     string
+	Capacity int
+	// FreeNs is when the node's in-flight wave is predicted to drain (at
+	// or before now when idle); Resident and Queued count its committed
+	// jobs; QueuedWorkNs prices the staged queue on its hardware.
+	FreeNs       float64
+	Resident     int
+	Queued       int
+	QueuedWorkNs float64
+	// WorkNs is the checkpointed job's remaining work priced on THIS
+	// node's hardware; Alpha the hardware's per-co-runner inflation.
+	WorkNs float64
+	Alpha  float64
+	// TransferNs is the checkpoint-state transfer plus re-staging the move
+	// to this node costs; zero for the node the job was preempted from.
+	TransferNs float64
+}
+
+// load is the target's total job commitment.
+func (t Target) load() int { return t.Resident + t.Queued }
+
+// Migrator re-prices a checkpointed job across the fleet and picks where
+// it restarts. The estimate mirrors the model-aware placement policy —
+// next-wave start plus the job's remaining work inflated by its
+// co-runners, plus a drain term past one wave of commitment — with the
+// migration transfer delaying the restart on any node but the source.
+// Nodes at wave capacity are considered only when every node is full; ties
+// break on the lower node index.
+type Migrator struct{}
+
+// Estimate is the predicted completion of the checkpointed job on one
+// candidate target at nowNs.
+func (Migrator) Estimate(t Target, nowNs float64) float64 {
+	start := t.FreeNs
+	if ready := nowNs + t.TransferNs; ready > start {
+		start = ready
+	}
+	co := t.load()
+	if co > t.Capacity-1 {
+		co = t.Capacity - 1
+	}
+	est := start + t.WorkNs*(1+t.Alpha*float64(co))
+	if t.load() >= t.Capacity {
+		est += t.QueuedWorkNs / float64(t.Capacity)
+	}
+	return est
+}
+
+// Pick returns the target index (into targets) where the checkpointed job
+// is predicted to finish soonest; estimate ties break on the lower node
+// Index whatever the slice order. It returns -1 only on an empty target
+// list, which the engine never produces.
+func (m Migrator) Pick(nowNs float64, targets []Target) int {
+	better := func(est float64, i, bestI int, bestEst float64) bool {
+		if bestI < 0 || est < bestEst {
+			return true
+		}
+		return est == bestEst && targets[i].Index < targets[bestI].Index
+	}
+	best, bestEst := -1, 0.0
+	full, fullEst := -1, 0.0
+	for i, t := range targets {
+		est := m.Estimate(t, nowNs)
+		if t.load() >= t.Capacity {
+			if better(est, i, full, fullEst) {
+				full, fullEst = i, est
+			}
+			continue
+		}
+		if better(est, i, best, bestEst) {
+			best, bestEst = i, est
+		}
+	}
+	if best < 0 {
+		return full
+	}
+	return best
+}

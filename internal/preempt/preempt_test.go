@@ -1,0 +1,179 @@
+package preempt
+
+import (
+	"strings"
+	"testing"
+)
+
+// wave builds a one-node snapshot with a wave in flight.
+func wave(idx int, roundEnd, drain float64, resident ...ResidentJob) NodeSnapshot {
+	return NodeSnapshot{
+		Index: idx, Kind: "cpu", InWave: true,
+		RoundEndNs: roundEnd, DrainNs: drain, Resident: resident,
+	}
+}
+
+func TestPriorityArrivalFires(t *testing.T) {
+	nodes := []NodeSnapshot{
+		wave(0, 10, 100, ResidentJob{Name: "lo", Priority: 0}, ResidentJob{Name: "mid", Priority: 1}),
+		{Index: 1, Kind: "gpu"},
+	}
+	tr := PriorityArrival{}
+	if got := tr.Fire(Arrival{Node: 0, Priority: 2}, 5, nodes); len(got) != 1 || got[0] != 0 {
+		t.Errorf("high-priority arrival over (0,1) residents fired %v, want [0]", got)
+	}
+	if got := tr.Fire(Arrival{Node: 0, Priority: 1}, 5, nodes); got != nil {
+		t.Errorf("tied-priority arrival fired %v, want none (strictly greater only)", got)
+	}
+	if got := tr.Fire(Arrival{Node: 1, Priority: 9}, 5, nodes); got != nil {
+		t.Errorf("arrival on an idle node fired %v, want none", got)
+	}
+	if got := tr.Fire(Arrival{Node: 7, Priority: 9}, 5, nodes); got != nil {
+		t.Errorf("arrival on an unknown node fired %v, want none", got)
+	}
+}
+
+func TestDeadlineAtRiskFiresOnlyWhenCutHelps(t *testing.T) {
+	nodes := []NodeSnapshot{wave(0, 20, 100, ResidentJob{Name: "r"})}
+	tr := DeadlineAtRisk{}
+	// Waiting for the drain (100) + work (30) = 130 misses the 60 deadline;
+	// cutting at the boundary (20) + 30 = 50 makes it.
+	a := Arrival{Node: 0, DeadlineNs: 60, WorkNs: 30, ReadyNs: 5}
+	if got := tr.Fire(a, 5, nodes); len(got) != 1 || got[0] != 0 {
+		t.Errorf("at-risk deadline fired %v, want [0]", got)
+	}
+	// Deadline generous enough to survive the drain: no cut.
+	a.DeadlineNs = 200
+	if got := tr.Fire(a, 5, nodes); got != nil {
+		t.Errorf("safe deadline fired %v, want none", got)
+	}
+	// Deadline unreachable even after a cut: no point preempting.
+	a.DeadlineNs = 40
+	if got := tr.Fire(a, 5, nodes); got != nil {
+		t.Errorf("hopeless deadline fired %v, want none", got)
+	}
+	// No deadline at all.
+	if got := tr.Fire(Arrival{Node: 0, WorkNs: 30}, 5, nodes); got != nil {
+		t.Errorf("deadline-free arrival fired %v, want none", got)
+	}
+	// Staging dominates the cut start: ReadyNs pushes both estimates.
+	a = Arrival{Node: 0, DeadlineNs: 60, WorkNs: 30, ReadyNs: 45}
+	if got := tr.Fire(a, 5, nodes); got != nil {
+		t.Errorf("staging-bound deadline fired %v, want none (75 > 60 even after the cut)", got)
+	}
+}
+
+func TestLoadImbalanceNeedsIdleNodeAndWaveTail(t *testing.T) {
+	tr := LoadImbalance{}
+	tail := []NodeSnapshot{wave(0, 20, 100, ResidentJob{Name: "r"}), {Index: 1}}
+	if got := tr.Fire(Arrival{Node: 0}, 5, tail); len(got) != 1 || got[0] != 0 {
+		t.Errorf("wave tail with an idle peer fired %v, want [0]", got)
+	}
+	// Final round already: nothing left past the boundary to migrate.
+	last := []NodeSnapshot{wave(0, 100, 100, ResidentJob{Name: "r"}), {Index: 1}}
+	if got := tr.Fire(Arrival{Node: 0}, 5, last); got != nil {
+		t.Errorf("final-round wave fired %v, want none", got)
+	}
+	// No idle peer: the tail has nowhere to go.
+	busy := []NodeSnapshot{wave(0, 20, 100, ResidentJob{Name: "r"}), {Index: 1, Queued: 2}}
+	if got := tr.Fire(Arrival{Node: 0}, 5, busy); got != nil {
+		t.Errorf("tail without an idle peer fired %v, want none", got)
+	}
+}
+
+func TestParseTriggers(t *testing.T) {
+	if ts, on, err := ParseTriggers(""); err != nil || on || ts != nil {
+		t.Errorf("empty spec: %v %v %v, want disabled", ts, on, err)
+	}
+	if ts, on, err := ParseTriggers("off"); err != nil || on || ts != nil {
+		t.Errorf("off: %v %v %v, want disabled", ts, on, err)
+	}
+	if ts, on, err := ParseTriggers("none"); err != nil || !on || len(ts) != 0 {
+		t.Errorf("none: %v %v %v, want enabled with no triggers", ts, on, err)
+	}
+	ts, on, err := ParseTriggers("all")
+	if err != nil || !on || len(ts) != len(Triggers()) {
+		t.Fatalf("all: %v %v %v", ts, on, err)
+	}
+	ts, on, err = ParseTriggers("priority+deadline")
+	if err != nil || !on || len(ts) != 2 || ts[0].Name() != "priority" || ts[1].Name() != "deadline" {
+		t.Fatalf("priority+deadline: %v %v %v", ts, on, err)
+	}
+	if ts, _, err := ParseTriggers("priority+priority"); err != nil || len(ts) != 1 {
+		t.Errorf("duplicate names should collapse: %v %v", ts, err)
+	}
+	if _, _, err := ParseTriggers("bogus"); err == nil || !strings.Contains(err.Error(), "unknown trigger") {
+		t.Errorf("bogus spec error %v, want unknown trigger", err)
+	}
+	if _, _, err := ParseTriggers("+"); err == nil {
+		t.Error("empty-name spec accepted")
+	}
+}
+
+func TestCheckpointStepsLeft(t *testing.T) {
+	c := Checkpoint{StepsDone: 2, Steps: 5}
+	if c.StepsLeft() != 3 {
+		t.Errorf("StepsLeft %d, want 3", c.StepsLeft())
+	}
+}
+
+func TestMigratorPrefersFastestFinish(t *testing.T) {
+	m := Migrator{}
+	// Source node (transfer 0) is busy until 100; an idle remote costs 10
+	// of transfer but starts now — remote wins on finish time.
+	targets := []Target{
+		{Index: 0, Capacity: 4, FreeNs: 100, WorkNs: 50},
+		{Index: 1, Capacity: 4, FreeNs: 0, WorkNs: 50, TransferNs: 10},
+	}
+	if got := m.Pick(0, targets); got != 1 {
+		t.Errorf("picked %d, want the idle remote (1)", got)
+	}
+	// A remote with faster hardware (smaller remaining work) can beat the
+	// source even when both are idle, if the transfer is cheap enough.
+	targets = []Target{
+		{Index: 0, Capacity: 4, FreeNs: 0, WorkNs: 100},
+		{Index: 1, Capacity: 4, FreeNs: 0, WorkNs: 20, TransferNs: 30},
+	}
+	if got := m.Pick(0, targets); got != 1 {
+		t.Errorf("picked %d, want the faster hardware (1)", got)
+	}
+	// ...but not when the transfer eats the hardware advantage.
+	targets[1].TransferNs = 300
+	if got := m.Pick(0, targets); got != 0 {
+		t.Errorf("picked %d, want the source (0) against a costly transfer", got)
+	}
+}
+
+func TestMigratorCapacityAndTies(t *testing.T) {
+	m := Migrator{}
+	// Both full: least-bad full node wins.
+	full := []Target{
+		{Index: 0, Capacity: 1, Resident: 1, FreeNs: 100, WorkNs: 10, QueuedWorkNs: 50},
+		{Index: 1, Capacity: 1, Resident: 1, FreeNs: 10, WorkNs: 10, QueuedWorkNs: 5},
+	}
+	if got := m.Pick(0, full); got != 1 {
+		t.Errorf("picked %d among full nodes, want 1", got)
+	}
+	// A spare-capacity node beats a better-estimate full node.
+	mixed := []Target{
+		{Index: 0, Capacity: 1, Resident: 1, FreeNs: 0, WorkNs: 1},
+		{Index: 1, Capacity: 4, FreeNs: 50, WorkNs: 10},
+	}
+	if got := m.Pick(0, mixed); got != 1 {
+		t.Errorf("picked %d, want the spare-capacity node (1)", got)
+	}
+	// Exact tie: lower node index.
+	tie := []Target{
+		{Index: 3, Capacity: 4, WorkNs: 10},
+		{Index: 2, Capacity: 4, WorkNs: 10},
+	}
+	if got := m.Pick(0, tie); tie[got].Index != 2 {
+		t.Errorf("tie picked node %d, want 2", tie[got].Index)
+	}
+	// Co-runner inflation: a loaded node's estimate grows with Alpha.
+	est0 := m.Estimate(Target{Capacity: 4, WorkNs: 100, Alpha: 0.2}, 0)
+	est2 := m.Estimate(Target{Capacity: 4, Resident: 2, WorkNs: 100, Alpha: 0.2}, 0)
+	if est2 <= est0 {
+		t.Errorf("two co-runners estimate %v not above idle %v", est2, est0)
+	}
+}

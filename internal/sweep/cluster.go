@@ -28,9 +28,12 @@ func DefaultClusterWorkloads() []NamedWorkload {
 	}
 }
 
-// ClusterGrid is a workload × policy × node-mix sweep specification: the
-// node-mix axis crosses CPU node counts (Sizes) with GPU node counts
-// (GPUs), so one grid compares homogeneous and heterogeneous fleets.
+// ClusterGrid is a workload × policy × node-mix × preemption sweep
+// specification: the node-mix axis crosses CPU node counts (Sizes) with
+// GPU node counts (GPUs), so one grid compares homogeneous and
+// heterogeneous fleets, and the preemption axis (Preempts) compares
+// run-to-completion against checkpoint/restart trigger sets on otherwise
+// identical cells.
 type ClusterGrid struct {
 	// Workloads to place; empty means DefaultClusterWorkloads.
 	Workloads []NamedWorkload
@@ -43,6 +46,10 @@ type ClusterGrid struct {
 	// (CPU-only clusters). A cell with zero CPU nodes and a positive GPU
 	// count is a homogeneous GPU fleet.
 	GPUs []int
+	// Preempts are preemption trigger specs (preempt.ParseTriggers)
+	// crossed with every cell; empty means {"off"} — run-to-completion
+	// only, the grid the engine always swept.
+	Preempts []string
 	// Arbiter is the per-node cross-job policy; empty means "fair".
 	Arbiter string
 	// Machine is the CPU-node hardware model; nil means hw.NewKNL().
@@ -84,13 +91,22 @@ func (g ClusterGrid) gpus() []int {
 	return g.GPUs
 }
 
+func (g ClusterGrid) preempts() []string {
+	if len(g.Preempts) == 0 {
+		return []string{"off"}
+	}
+	return g.Preempts
+}
+
 // ClusterCell is the outcome of one cluster-placement grid point.
 type ClusterCell struct {
-	// Workload, Policy, Nodes (CPU count) and GPUs name the grid point.
+	// Workload, Policy, Nodes (CPU count), GPUs and Preempt name the grid
+	// point; Preempt is "off" for run-to-completion cells.
 	Workload string
 	Policy   string
 	Nodes    int
 	GPUs     int
+	Preempt  string
 	// Result is the full placement outcome (nil until evaluated). Its
 	// rendered report is deterministic: a parallel sweep produces
 	// byte-identical reports to a serial one.
@@ -115,13 +131,17 @@ func (g ClusterGrid) points() []clusterPoint {
 		for _, pol := range g.policies() {
 			for _, size := range g.sizes() {
 				for _, gcount := range g.gpus() {
-					pts = append(pts, clusterPoint{
-						cell: ClusterCell{Workload: wl.Name, Policy: pol, Nodes: size, GPUs: gcount},
-						jobs: wl.Jobs,
-						c: place.Cluster{Nodes: size, Machine: g.Machine,
-							GPUs: gcount, GPU: g.GPU, Interconnect: g.Interconnect},
-						opts: place.Options{Policy: pol, Arbiter: g.Arbiter, Config: g.Config},
-					})
+					for _, pre := range g.preempts() {
+						pts = append(pts, clusterPoint{
+							cell: ClusterCell{Workload: wl.Name, Policy: pol,
+								Nodes: size, GPUs: gcount, Preempt: pre},
+							jobs: wl.Jobs,
+							c: place.Cluster{Nodes: size, Machine: g.Machine,
+								GPUs: gcount, GPU: g.GPU, Interconnect: g.Interconnect},
+							opts: place.Options{Policy: pol, Arbiter: g.Arbiter,
+								Config: g.Config, Preempt: preemptOpt(pre)},
+						})
+					}
 				}
 			}
 		}
@@ -129,8 +149,16 @@ func (g ClusterGrid) points() []clusterPoint {
 	return pts
 }
 
+// preemptOpt maps the grid's "off" spelling to the engine's disabled spec.
+func preemptOpt(pre string) string {
+	if pre == "off" {
+		return ""
+	}
+	return pre
+}
+
 // Cells enumerates the grid points in deterministic workload-major,
-// policy-minor, size-then-GPU-count-innermost order — the order
+// policy-minor, size-GPU-count-then-preempt-innermost order — the order
 // RunClusterGrid's results use.
 func (g ClusterGrid) Cells() []ClusterCell {
 	pts := g.points()
@@ -152,8 +180,8 @@ func RunClusterGrid(ctx context.Context, g ClusterGrid, parallelism int) ([]Clus
 		cell := pt.cell
 		res, err := place.PlaceJobs(pt.jobs, pt.c, pt.opts)
 		if err != nil {
-			return ClusterCell{}, fmt.Errorf("sweep: cell %s/%s/n=%d/g=%d: %w",
-				cell.Workload, cell.Policy, cell.Nodes, cell.GPUs, err)
+			return ClusterCell{}, fmt.Errorf("sweep: cell %s/%s/n=%d/g=%d/p=%s: %w",
+				cell.Workload, cell.Policy, cell.Nodes, cell.GPUs, cell.Preempt, err)
 		}
 		cell.Result = res
 		cell.Elapsed = time.Since(start)

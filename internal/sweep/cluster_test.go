@@ -144,3 +144,57 @@ func TestClusterGridBadInput(t *testing.T) {
 		t.Error("zero-node cluster accepted")
 	}
 }
+
+// TestClusterGridPreemptAxis: the preemption axis is innermost, "off"
+// maps to the run-to-completion engine, and a preemptive sweep renders
+// byte-identically at parallelism 1 and 8 — property (d) of the
+// preemption test plan, at the sweep level.
+func TestClusterGridPreemptAxis(t *testing.T) {
+	jobs, err := place.SyntheticSteps(5, 3, []string{nn.LSTM, nn.DCGAN}, 1e6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ClusterGrid{
+		Workloads: []NamedWorkload{{Name: "steps5", Jobs: jobs}},
+		Policies:  []string{"model-aware"},
+		Sizes:     []int{1},
+		GPUs:      []int{1},
+		Preempts:  []string{"off", "priority+deadline+load"},
+	}
+	cells := g.Cells()
+	if len(cells) != 2 || cells[0].Preempt != "off" || cells[1].Preempt != "priority+deadline+load" {
+		t.Fatalf("preempt axis enumerates %+v", cells)
+	}
+	serial, err := RunClusterGrid(context.Background(), g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunClusterGrid(context.Background(), g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if s, p := serial[i].Result.Render(), parallel[i].Result.Render(); s != p {
+			t.Errorf("preempt cell %d reports differ between serial and parallel sweeps:\n%s\nvs\n%s", i, s, p)
+		}
+	}
+	if got := serial[0].Result.Preempt; got != "off" {
+		t.Errorf("off cell ran with preempt %q", got)
+	}
+	if got := serial[1].Result.Preempt; got != "priority+deadline+load" {
+		t.Errorf("armed cell ran with preempt %q", got)
+	}
+	// Work is conserved across the axis: both cells finish every job.
+	for i, c := range serial {
+		for _, j := range c.Result.Jobs {
+			if j.FinishNs <= 0 {
+				t.Errorf("cell %d job %s never finished", i, j.Name)
+			}
+		}
+	}
+	if _, err := RunClusterGrid(context.Background(), ClusterGrid{
+		Preempts: []string{"bogus"},
+	}, 1); err == nil {
+		t.Error("bogus preempt spec accepted by the sweep")
+	}
+}

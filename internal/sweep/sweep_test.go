@@ -210,3 +210,23 @@ func TestRunGridDuplicatePolicyNames(t *testing.T) {
 			cells[1].StepTimeNs/1e6, cells[0].StepTimeNs/1e6)
 	}
 }
+
+// TestGridAccessorOverrides: every Grid accessor honours an explicit
+// value instead of its default.
+func TestGridAccessorOverrides(t *testing.T) {
+	m := hw.NewKNL()
+	g := Grid{
+		Policies: []Policy{FIFOPolicy("fifo", 1, 4)},
+		Models:   []string{nn.LSTM},
+		Machines: []NamedMachine{{Name: "m", Machine: m}},
+	}
+	if got := g.policies(); len(got) != 1 || got[0].Name != "fifo" {
+		t.Errorf("policies() = %v", got)
+	}
+	if got := g.models(); len(got) != 1 || got[0] != nn.LSTM {
+		t.Errorf("models() = %v", got)
+	}
+	if got := g.machines(); len(got) != 1 || got[0].Name != "m" {
+		t.Errorf("machines() = %v", got)
+	}
+}

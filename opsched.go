@@ -41,6 +41,7 @@ import (
 	"opsched/internal/nn"
 	"opsched/internal/perfmodel"
 	"opsched/internal/place"
+	"opsched/internal/preempt"
 	"opsched/internal/sweep"
 )
 
@@ -326,6 +327,44 @@ func PlaceJobs(w ClusterWorkload, c Cluster, opts PlaceOptions) (*PlacementResul
 // gap (<= 0 means 2 ms), and every fourth job carries a deadline.
 func SyntheticWorkload(n int, seed uint64, models []string, meanGapNs float64) (ClusterWorkload, error) {
 	return place.Synthetic(n, seed, models, meanGapNs)
+}
+
+// SyntheticStepsWorkload is SyntheticWorkload with multi-step jobs: step
+// counts cycle deterministically through 1..maxSteps without perturbing
+// the arrival stream, and deadlines stretch with their job's step count.
+// maxSteps <= 1 is SyntheticWorkload verbatim. Multi-step jobs are what
+// give the preemption subsystem step boundaries to cut at.
+func SyntheticStepsWorkload(n int, seed uint64, models []string, meanGapNs float64, maxSteps int) (ClusterWorkload, error) {
+	return place.SyntheticSteps(n, seed, models, meanGapNs, maxSteps)
+}
+
+// PreemptCheckpoint captures a preempted job's progress at a step
+// boundary: steps completed, plus the parameter/optimizer state a
+// migration must ship (see preempt.Checkpoint).
+type PreemptCheckpoint = preempt.Checkpoint
+
+// PreemptTrigger decides when a running gang wave should be cut short at
+// its next per-job step boundary (see preempt.Trigger).
+type PreemptTrigger = preempt.Trigger
+
+// PreemptionTriggers lists the built-in preemption trigger names accepted
+// in trigger specs: "priority" (a high-priority arrival never waits out a
+// lower-priority gang), "deadline" (cut exactly when it converts a
+// predicted deadline miss into a hit) and "load" (spill a wave's tail to
+// an idle node). Specs join names with "+", or use "all"/"none"/"off".
+func PreemptionTriggers() []string { return preempt.Triggers() }
+
+// RunPreemptiveCluster is PlaceJobs with preemption triggers armed:
+// triggers is a spec in PreemptionTriggers' spelling ("all",
+// "priority+deadline", ...). A preemptive run whose triggers never fire
+// reports byte-identically to the run-to-completion engine; when they do
+// fire, cut waves checkpoint their unfinished jobs at the step boundary
+// and the migrator re-prices each across the fleet — cross-hardware
+// CPU<->GPU moves included, paying the interconnect for checkpoint state
+// plus re-staging.
+func RunPreemptiveCluster(w ClusterWorkload, c Cluster, opts PlaceOptions, triggers string) (*PlacementResult, error) {
+	opts.Preempt = triggers
+	return place.PlaceJobs(w, c, opts)
 }
 
 // NamedWorkload pairs a job stream with a label for sweep attribution.

@@ -278,3 +278,64 @@ func TestFacadeCoTrain(t *testing.T) {
 		t.Errorf("single-job co-run slowdown %.4f, want exactly 1", res.Jobs[0].Slowdown)
 	}
 }
+
+// TestFacadePreemptiveCluster drives the preemption surface end to end:
+// trigger names are listed, a zero-firing preemptive run is byte-identical
+// to the run-to-completion engine, and an armed run on a pinned-down fleet
+// preempts without losing any job.
+func TestFacadePreemptiveCluster(t *testing.T) {
+	names := PreemptionTriggers()
+	if len(names) != 3 || names[0] != "priority" {
+		t.Fatalf("PreemptionTriggers() = %v", names)
+	}
+	workload, err := SyntheticStepsWorkload(5, 1, []string{"lstm", "dcgan"}, 1e6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := HeterogeneousCluster(1, 1)
+	opts := PlaceOptions{Policy: "model-aware"}
+	rtc, err := PlaceJobs(workload, fleet, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := RunPreemptiveCluster(workload, fleet, opts, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtc.Render() != none.Render() {
+		t.Errorf("zero-trigger preemptive run differs from run-to-completion:\n%s\nvs\n%s",
+			none.Render(), rtc.Render())
+	}
+	armed, err := RunPreemptiveCluster(workload, fleet, opts, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(armed.Jobs) != len(workload) {
+		t.Fatalf("armed run placed %d jobs, want %d", len(armed.Jobs), len(workload))
+	}
+	for _, j := range armed.Jobs {
+		if j.FinishNs <= 0 || j.Slowdown < 1-1e-9 {
+			t.Errorf("armed job %s finish %v slowdown %.4f", j.Name, j.FinishNs, j.Slowdown)
+		}
+	}
+	if _, err := RunPreemptiveCluster(workload, fleet, opts, "bogus"); err == nil {
+		t.Error("bogus trigger spec accepted")
+	}
+}
+
+// TestFacadeErrorPaths: the thin facade wrappers propagate bad input
+// instead of swallowing it.
+func TestFacadeErrorPaths(t *testing.T) {
+	if _, err := RunCoJobs(nil, nil, "nope"); err == nil {
+		t.Error("unknown arbiter accepted by RunCoJobs")
+	}
+	if _, err := CoTrain([]string{"vgg"}, nil, AllStrategies(), "fair"); err == nil {
+		t.Error("unknown model accepted by CoTrain")
+	}
+	if _, err := CoTrain([]string{"lstm"}, nil, AllStrategies(), "nope"); err == nil {
+		t.Error("unknown arbiter accepted by CoTrain")
+	}
+	if _, err := SyntheticStepsWorkload(0, 1, nil, 0, 2); err == nil {
+		t.Error("zero-job stepped workload accepted")
+	}
+}
