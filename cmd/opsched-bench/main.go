@@ -111,11 +111,14 @@ type jsonClusterCell struct {
 	Nodes          int             `json:"nodes"`
 	Gpus           int             `json:"gpus"`
 	Preempt        string          `json:"preempt"`
+	Engine         string          `json:"engine"`
 	Fleet          string          `json:"fleet"`
 	Report         string          `json:"report"`
 	MakespanMs     float64         `json:"makespan_ms"`
 	MeanJctMs      float64         `json:"mean_jct_ms"`
 	MeanQueueMs    float64         `json:"mean_queue_ms"`
+	P50QueueMs     float64         `json:"p50_queue_ms"`
+	P95QueueMs     float64         `json:"p95_queue_ms"`
 	P99QueueMs     float64         `json:"p99_queue_ms"`
 	Fairness       float64         `json:"fairness"`
 	DeadlinesMet   int             `json:"deadlines_met"`
@@ -155,6 +158,7 @@ func main() {
 	steps := flag.Int("steps", 1, "max training steps per -cluster synthetic job (steps cycle 1..N deterministically; 1 = single-step jobs)")
 	preemptSpec := flag.String("preempt", "off", `preemption axis for -cluster, comma-separated: "off" (run-to-completion), "on" (the -trigger set), or explicit trigger specs like priority+deadline`)
 	triggerSpec := flag.String("trigger", "all", `trigger set "-preempt on" arms: "all", "none", or a "+"-separated subset of priority, deadline, load`)
+	engineSpec := flag.String("engine", "batch", `execution engines for -cluster, comma-separated: "batch" (closed-workload engine), "pipeline" (streaming admission→placement→execution→metrics pipeline); both render byte-identically`)
 	flag.Parse()
 
 	if *list {
@@ -171,7 +175,7 @@ func main() {
 	}
 	if *clusterN > 0 {
 		runCluster(ctx, *clusterN, *policy, *nodesSpec, *gpusSpec, *models, *arbiter,
-			*seed, *gapMs, *steps, *preemptSpec, *triggerSpec, *parallel, *jsonOut)
+			*seed, *gapMs, *steps, *preemptSpec, *triggerSpec, *engineSpec, *parallel, *jsonOut)
 		return
 	}
 
@@ -302,7 +306,7 @@ func runJobs(ctx context.Context, jobsSpec, arbiterSpec string, parallel int, js
 // and preemption configuration, through the sweep pool. Same determinism
 // contract as the other modes — stdout is byte-identical at any -parallel,
 // timings go to stderr or the JSON payload.
-func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, steps int, preemptSpec, triggerSpec string, parallel int, jsonOut bool) {
+func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, steps int, preemptSpec, triggerSpec, engineSpec string, parallel int, jsonOut bool) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
 		os.Exit(1)
@@ -371,12 +375,23 @@ func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, mod
 		arb = "fair"
 	}
 
+	var engines []string
+	for _, e := range strings.Split(engineSpec, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			engines = append(engines, e)
+		}
+	}
+	if len(engines) == 0 {
+		fail(fmt.Errorf("-engine %q names no engines", engineSpec))
+	}
+
 	grid := opsched.ClusterSweepGrid{
 		Workloads: []opsched.NamedWorkload{{Name: fmt.Sprintf("synthetic%d", n), Jobs: workload}},
 		Policies:  policies,
 		Sizes:     sizes,
 		GPUs:      gpus,
 		Preempts:  preempts,
+		Engines:   engines,
 		Arbiter:   arb,
 	}
 	start := time.Now()
@@ -399,11 +414,14 @@ func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, par
 		for _, c := range cells {
 			jc := jsonClusterCell{
 				Workload: c.Workload, Policy: c.Policy, Nodes: c.Nodes,
-				Gpus: c.GPUs, Preempt: c.Result.Preempt, Fleet: c.Result.Fleet,
+				Gpus: c.GPUs, Preempt: c.Result.Preempt, Engine: engineName(c.Engine),
+				Fleet:          c.Result.Fleet,
 				Report:         c.Result.Render(),
 				MakespanMs:     c.Result.MakespanNs / 1e6,
 				MeanJctMs:      c.Result.MeanJCTNs / 1e6,
 				MeanQueueMs:    c.Result.MeanQueueNs / 1e6,
+				P50QueueMs:     c.Result.QueuePercentileNs(0.50) / 1e6,
+				P95QueueMs:     c.Result.QueuePercentileNs(0.95) / 1e6,
 				P99QueueMs:     c.Result.QueuePercentileNs(0.99) / 1e6,
 				Fairness:       c.Result.FairnessIndex,
 				DeadlinesMet:   c.Result.DeadlinesMet,
@@ -446,11 +464,24 @@ func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, par
 		if c.Preempt != "" && c.Preempt != "off" {
 			label = fmt.Sprintf("%s / p=%s", label, c.Preempt)
 		}
+		// The default batch engine keeps the historical label; only a
+		// pipeline cell announces its engine.
+		if e := engineName(c.Engine); e != "batch" {
+			label = fmt.Sprintf("%s / e=%s", label, e)
+		}
 		fmt.Printf("=== %s ===\n%s\n", label, c.Result.Render())
 		fmt.Fprintf(os.Stderr, "opsched-bench: %-35s %.2fs\n", label, c.Elapsed.Seconds())
 	}
 	fmt.Fprintf(os.Stderr, "opsched-bench: total %.2fs, parallel=%d, profile cache %d hits / %d misses\n",
 		total.Seconds(), parallel, hits, misses)
+}
+
+// engineName spells a cell's engine, defaulting the historical empty value.
+func engineName(e string) string {
+	if e == "" {
+		return "batch"
+	}
+	return e
 }
 
 func emitJobCells(cells []opsched.JobSweepCell, total time.Duration, parallel int, jsonOut bool) {

@@ -1,0 +1,339 @@
+// Command opsched-serve runs the placement engine as a long-lived
+// scheduling service: a streaming admission→placement→execution→metrics
+// pipeline fed by a CSV job trace (a file or stdin) and/or ad-hoc HTTP
+// submissions, publishing live queue/JCT percentiles while jobs are in
+// flight and sealing the full placement report on graceful drain.
+//
+// Usage:
+//
+//	opsched-serve -trace jobs.csv                  # replay a trace, unpaced
+//	opsched-serve -trace jobs.csv -speed 60        # pace at 60× native rate
+//	opsched-serve -trace jobs.csv -compress 24     # squeeze arrival gaps 24×
+//	cat jobs.csv | opsched-serve                   # trace over stdin
+//	opsched-serve -http :8080                      # live HTTP service
+//	opsched-serve -trace jobs.csv -http :8080      # both at once
+//
+// The trace format is the Philly/Helios-style CSV the tracefile package
+// reads: a header row naming at least a model and a submission-time
+// column (case-insensitive aliases), then one job per row.
+//
+// With -http, the service exposes:
+//
+//	POST /jobs      submit one job: {"model":"resnet-50","name":"j1",
+//	                "priority":2,"steps":3,"deadline_ms":500,"weight":1}
+//	                (model is required; arrival is the wall-clock instant
+//	                of the request)
+//	GET  /snapshot  live metrics as JSON: counts, means, p50/p95/p99
+//	                queue and JCT percentiles over completions so far
+//	POST /drain     close the stream and drain gracefully
+//
+// Shutdown is an ordered drain, never an abort: when the trace ends (and
+// no -http keeps the stream open), or on the first SIGINT/SIGTERM, or on
+// POST /drain, the END flag enters the pipeline, every in-flight job
+// retires, the sealed placement report prints to stdout, and the process
+// exits 0. A second signal cancels hard. Live snapshots print to stderr
+// every -snap-every completions, so stdout stays a clean artifact.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"opsched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opsched-serve: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole service behind main: parse flags, assemble the
+// pipeline, start the feeders, drain, render. Split out so tests drive it
+// end to end with their own argv and stdout.
+func run(args []string, stdin *os.File, stdout io.Writer) error {
+	fs := flag.NewFlagSet("opsched-serve", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", `CSV job trace to replay ("-" or piped stdin also work)`)
+	speed := fs.Float64("speed", 0, "trace pacing: 0 replays unpaced, 1 at native arrival rate, 60 at 60× (wall-clock); the virtual-time report is identical whatever the speed")
+	compress := fs.Float64("compress", 1, "divide every trace arrival gap: 24 replays a day in one virtual hour")
+	unit := fs.Duration("unit", time.Second, "unit of numeric submission-time columns")
+	defaultSteps := fs.Int("default-steps", 1, "step count for trace rows without one")
+	skipMalformed := fs.Bool("skip-malformed", false, "drop undecodable trace rows instead of failing")
+	httpAddr := fs.String("http", "", `serve HTTP job submissions and live snapshots on this address (e.g. ":8080")`)
+	nodes := fs.Int("nodes", 2, "CPU (KNL) node count")
+	gpus := fs.Int("gpus", 0, "GPU (P100) node count")
+	policy := fs.String("policy", "", "placement policy (default spread)")
+	arbiter := fs.String("arbiter", "", "per-node cross-job arbiter (default fair)")
+	preempt := fs.String("preempt", "", `preemption trigger spec ("all", "priority+deadline", ...; empty = off)`)
+	snapEvery := fs.Int("snap-every", 10, "print a live snapshot to stderr every N completions (0 disables)")
+	buffer := fs.Int("buffer", 0, "inter-stage channel depth (0 = default)")
+	tick := fs.Duration("tick", 500*time.Millisecond, "virtual-clock tick interval in -http mode (retires work between submissions)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cfg := opsched.PipelineConfig{
+		Cluster: opsched.Cluster{Nodes: *nodes, GPUs: *gpus},
+		Options: opsched.PlaceOptions{Policy: *policy, Arbiter: *arbiter, Preempt: *preempt},
+		Buffer:  *buffer,
+	}
+	if *snapEvery > 0 {
+		cfg.SnapshotEvery = *snapEvery
+		cfg.OnSnapshot = func(s opsched.StreamSnapshot) { log.Print(s) }
+	}
+	p, err := opsched.NewJobPipeline(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	srv := &server{p: p, start: time.Now()}
+
+	// Graceful drain: trace EOF (when nothing else feeds the stream),
+	// SIGINT/SIGTERM, or POST /drain — whoever comes first closes once.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		log.Print("draining (signal again to abort)")
+		srv.drain()
+		<-sigs
+		log.Print("aborting")
+		cancel()
+	}()
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.mux()}
+		go func() {
+			log.Printf("listening on %s", *httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Print(err)
+				cancel()
+			}
+		}()
+		// Ticks let the live service retire due waves and report
+		// completions between submissions. Pure replay never ticks, so a
+		// replayed report stays deterministic.
+		go func() {
+			t := time.NewTicker(*tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if srv.tick() != nil {
+						return
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	trace, err := traceInput(*tracePath, stdin)
+	if err != nil {
+		return err
+	}
+	if trace == nil && *httpAddr == "" {
+		return fmt.Errorf("nothing to serve: give -trace, pipe a trace to stdin, or set -http (see -h)")
+	}
+	if trace != nil {
+		go func() {
+			defer trace.Close()
+			r, err := opsched.NewTraceReader(trace, opsched.TraceOptions{
+				TimeUnit: *unit, Compress: *compress,
+				DefaultSteps: *defaultSteps, SkipMalformed: *skipMalformed,
+			})
+			if err != nil {
+				log.Print(err)
+				cancel()
+				return
+			}
+			if err := srv.feedTrace(ctx, r, *speed); err != nil {
+				log.Print(err)
+				cancel()
+				return
+			}
+			st := r.Stats()
+			log.Printf("trace done: %d rows, %d jobs, %d skipped, %d out-of-order, %d mapped models",
+				st.Rows, st.Jobs, st.Skipped, st.OutOfOrder, st.MappedModels)
+			if *httpAddr == "" {
+				srv.drain() // no other feeder: the trace end is the stream end
+			}
+		}()
+	}
+
+	res, err := p.Wait()
+	if httpSrv != nil {
+		sctx, done := context.WithTimeout(context.Background(), 2*time.Second)
+		httpSrv.Shutdown(sctx)
+		done()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, res.Render())
+	return nil
+}
+
+// server owns the pipeline handle shared by the feeders and HTTP.
+type server struct {
+	p     *opsched.JobPipeline
+	start time.Time
+
+	drainOnce sync.Once
+	draining  atomic.Bool
+}
+
+func (s *server) drain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		s.p.Close()
+	})
+}
+
+// nowNs is the service's virtual clock in live mode: wall time since start.
+func (s *server) nowNs() float64 { return float64(time.Since(s.start).Nanoseconds()) }
+
+func (s *server) tick() error { return s.p.Tick(s.nowNs()) }
+
+// mux routes the service's three endpoints.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", method(http.MethodPost, s.handleSubmit))
+	mux.HandleFunc("/snapshot", method(http.MethodGet, s.handleSnapshot))
+	mux.HandleFunc("/drain", method(http.MethodPost, s.handleDrain))
+	return mux
+}
+
+// feedTrace submits the trace rows, pacing arrival gaps by speed (0 or
+// +Inf: unpaced). Mirrors pipeline.Replay but leaves the stream open so an
+// HTTP feeder can keep submitting after the trace ends.
+func (s *server) feedTrace(ctx context.Context, src *opsched.TraceReader, speed float64) error {
+	pace := speed > 0
+	var epoch float64
+	first := true
+	start := time.Now()
+	for {
+		j, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if first {
+			first = false
+			epoch = j.ArrivalNs
+		}
+		if pace {
+			due := time.Duration((j.ArrivalNs - epoch) / speed)
+			if wait := due - time.Since(start); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+		if err := s.p.Submit(j); err != nil {
+			if s.draining.Load() {
+				return nil // drained out from under the trace: not an error
+			}
+			return err
+		}
+	}
+}
+
+// submitReq is the POST /jobs body.
+type submitReq struct {
+	Name       string  `json:"name"`
+	Model      string  `json:"model"`
+	Priority   int     `json:"priority"`
+	Weight     float64 `json:"weight"`
+	Steps      int     `json:"steps"`
+	DeadlineMs float64 `json:"deadline_ms"` // relative to submission; 0 = none
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitReq
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	at := s.nowNs()
+	j := opsched.ClusterJob{
+		Name: req.Name, Model: req.Model, ArrivalNs: at,
+		Priority: req.Priority, Weight: req.Weight, Steps: req.Steps,
+	}
+	if j.Steps <= 0 {
+		j.Steps = 1
+	}
+	if req.DeadlineMs > 0 {
+		j.DeadlineNs = at + req.DeadlineMs*1e6
+	}
+	if err := s.p.Submit(j); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintln(w, "accepted")
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.p.Snapshot())
+}
+
+func (s *server) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	s.drain()
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintln(w, "draining")
+}
+
+// method guards a handler behind one HTTP method.
+func method(m string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != m {
+			w.Header().Set("Allow", m)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// traceInput opens the trace: a path, "-" for stdin, or piped stdin when
+// no path is given. A terminal stdin with no -trace returns nil.
+func traceInput(path string, stdin *os.File) (io.ReadCloser, error) {
+	switch path {
+	case "":
+		if fi, err := stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice == 0 {
+			return stdin, nil
+		}
+		return nil, nil
+	case "-":
+		return stdin, nil
+	default:
+		return os.Open(path)
+	}
+}

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"opsched/internal/place"
+)
+
+// genSource synthesizes an unbounded-style job stream one spec at a time —
+// the Source shape a million-row trace reader has. Nothing is ever
+// materialized: memory stays O(1) in the job count, which is the point of
+// the replay benchmark.
+type genSource struct {
+	i, n   int
+	gapNs  float64
+	models []string
+}
+
+func (g *genSource) Next() (place.JobSpec, error) {
+	if g.i >= g.n {
+		return place.JobSpec{}, io.EOF
+	}
+	j := place.JobSpec{
+		Model:     g.models[g.i%len(g.models)],
+		ArrivalNs: float64(g.i) * g.gapNs,
+		Steps:     1,
+	}
+	g.i++
+	return j, nil
+}
+
+func benchCluster() place.Cluster { return place.Cluster{Nodes: 4} }
+
+// benchWorkload is the closed workload the batch-vs-pipeline pair share.
+func benchWorkload(b *testing.B, n int) place.Workload {
+	b.Helper()
+	w, err := place.Synthetic(n, 3, []string{"lstm", "dcgan"}, 8e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkBatchEngine is the closed run-to-completion loop the pipeline
+// wraps — the baseline of the pair.
+func BenchmarkBatchEngine(b *testing.B) {
+	w := benchWorkload(b, 64)
+	c := benchCluster()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := place.PlaceJobs(w, c, place.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineBatch drives the identical workload through the
+// four-stage streaming pipeline; the delta over BenchmarkBatchEngine is
+// the channel hand-off cost of stage separation.
+func BenchmarkPipelineBatch(b *testing.B) {
+	w := benchWorkload(b, 64)
+	c := benchCluster()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBatch(context.Background(), w, c, place.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineReplay streams generated jobs through Replay without
+// ever holding the job slice — the sustained-throughput shape of replaying
+// a production trace. The 100k size is the ISSUE's scale gate; jobs/s is
+// the headline metric of BENCH_6.json.
+func BenchmarkPipelineReplay(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("jobs=%d", n), func(b *testing.B) {
+			if n > 10_000 && testing.Short() {
+				b.Skip("100k replay takes ~10 min; run without -short (scripts/bench6.sh does)")
+			}
+			cfg := Config{Cluster: benchCluster()}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := &genSource{n: n, gapNs: 10e6, models: []string{"lstm", "dcgan"}}
+				res, err := Replay(context.Background(), cfg, src, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Jobs) != n {
+					b.Fatalf("replayed %d of %d jobs", len(res.Jobs), n)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}

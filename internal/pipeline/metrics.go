@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"opsched/internal/place"
+)
+
+// Snapshot is one live reading of the metrics stage: what the scheduler
+// can report while jobs are still in flight. Percentiles are nearest-rank
+// over everything completed so far, the same formula Result.
+// QueuePercentileNs applies to a sealed run.
+type Snapshot struct {
+	// VirtualNowNs is the latest virtual time the metrics stage has seen —
+	// the newest completion or tick.
+	VirtualNowNs float64
+	// Submitted counts every job offered to admission; Rejected the ones
+	// validation refused; ClampedArrivals the out-of-order arrivals pulled
+	// forward to the admission clock.
+	Submitted       int
+	Rejected        int
+	ClampedArrivals int
+	// Placed / InFlight / Completed track the admitted population.
+	Placed    int
+	InFlight  int
+	Completed int
+	// Queue and JCT aggregates over completed jobs, in virtual nanoseconds.
+	MeanQueueNs float64
+	MeanJCTNs   float64
+	QueueP50Ns  float64
+	QueueP95Ns  float64
+	QueueP99Ns  float64
+	JCTP50Ns    float64
+	JCTP95Ns    float64
+	JCTP99Ns    float64
+	// Preemptions and Migrations sum the completed jobs' checkpoint counts.
+	Preemptions int
+	Migrations  int
+}
+
+// String renders the snapshot as one compact log line, virtual times in
+// milliseconds — the format opsched-serve and examples/serve print.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"t=%.3fms submitted=%d rejected=%d placed=%d inflight=%d done=%d queue[p50=%.3f p95=%.3f p99=%.3f]ms jct[p50=%.3f p95=%.3f p99=%.3f]ms",
+		s.VirtualNowNs/1e6, s.Submitted, s.Rejected, s.Placed, s.InFlight, s.Completed,
+		s.QueueP50Ns/1e6, s.QueueP95Ns/1e6, s.QueueP99Ns/1e6,
+		s.JCTP50Ns/1e6, s.JCTP95Ns/1e6, s.JCTP99Ns/1e6)
+}
+
+// liveMetrics is the mutex-guarded accumulator behind Snapshot: admission
+// writes submission/rejection/clamp counts, the metrics stage folds in
+// placements and completions, and any goroutine may read a Snapshot.
+type liveMetrics struct {
+	mu        sync.Mutex
+	submitted int
+	rejected  int
+	clamped   int
+	placed    int
+	completed int
+
+	queueNs  []float64
+	jctNs    []float64
+	queueSum float64
+	jctSum   float64
+
+	nowNs       float64
+	preemptions int
+	migrations  int
+}
+
+func newLiveMetrics() *liveMetrics { return &liveMetrics{} }
+
+func (m *liveMetrics) noteSubmitted() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+func (m *liveMetrics) noteRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *liveMetrics) noteClamped() {
+	m.mu.Lock()
+	m.clamped++
+	m.mu.Unlock()
+}
+
+func (m *liveMetrics) notePlaced(atNs float64) {
+	m.mu.Lock()
+	m.placed++
+	if atNs > m.nowNs {
+		m.nowNs = atNs
+	}
+	m.mu.Unlock()
+}
+
+func (m *liveMetrics) noteNow(atNs float64) {
+	m.mu.Lock()
+	if atNs > m.nowNs {
+		m.nowNs = atNs
+	}
+	m.mu.Unlock()
+}
+
+// noteCompleted folds one finished job in and returns the completion count.
+func (m *liveMetrics) noteCompleted(j place.PlacedJob) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	jct := j.JCTNs()
+	m.queueNs = append(m.queueNs, j.QueueNs)
+	m.jctNs = append(m.jctNs, jct)
+	m.queueSum += j.QueueNs
+	m.jctSum += jct
+	if j.FinishNs > m.nowNs {
+		m.nowNs = j.FinishNs
+	}
+	m.preemptions += j.Preemptions
+	m.migrations += j.Migrations
+	return m.completed
+}
+
+// Snapshot computes the current reading. It sorts copies of the latency
+// samples, so the cost is O(n log n) in completions — fine at snapshot
+// cadence; the hot per-completion path stays O(1) amortized.
+func (m *liveMetrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		VirtualNowNs: m.nowNs,
+		Submitted:    m.submitted, Rejected: m.rejected, ClampedArrivals: m.clamped,
+		Placed: m.placed, InFlight: m.placed - m.completed, Completed: m.completed,
+		Preemptions: m.preemptions, Migrations: m.migrations,
+	}
+	if n := float64(m.completed); n > 0 {
+		s.MeanQueueNs = m.queueSum / n
+		s.MeanJCTNs = m.jctSum / n
+	}
+	qs := append([]float64(nil), m.queueNs...)
+	js := append([]float64(nil), m.jctNs...)
+	sort.Float64s(qs)
+	sort.Float64s(js)
+	s.QueueP50Ns, s.QueueP95Ns, s.QueueP99Ns = nearestRank(qs, 0.50), nearestRank(qs, 0.95), nearestRank(qs, 0.99)
+	s.JCTP50Ns, s.JCTP95Ns, s.JCTP99Ns = nearestRank(js, 0.50), nearestRank(js, 0.95), nearestRank(js, 0.99)
+	return s
+}
+
+// nearestRank is the nearest-rank quantile over a sorted sample — the same
+// rule Result.QueuePercentileNs uses, so a live p99 at drain equals the
+// sealed report's p99.
+func nearestRank(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	k := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(sorted) {
+		k = len(sorted) - 1
+	}
+	return sorted[k]
+}

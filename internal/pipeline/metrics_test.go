@@ -1,0 +1,48 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{
+		VirtualNowNs: 1.5e6, Submitted: 3, Placed: 2, InFlight: 1, Completed: 1,
+		QueueP50Ns: 2e6, QueueP95Ns: 3e6, QueueP99Ns: 3e6,
+		JCTP50Ns: 30e6, JCTP95Ns: 40e6, JCTP99Ns: 40e6,
+	}
+	line := s.String()
+	for _, want := range []string{
+		"t=1.500ms", "submitted=3", "placed=2", "inflight=1", "done=1",
+		"queue[p50=2.000 p95=3.000 p99=3.000]ms",
+		"jct[p50=30.000 p95=40.000 p99=40.000]ms",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("snapshot line missing %q:\n%s", want, line)
+		}
+	}
+	if strings.Contains(line, "\n") {
+		t.Fatal("snapshot line must be one line")
+	}
+}
+
+func TestNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {-1, 1}, {0.10, 1}, {0.50, 5}, {0.95, 10}, {0.99, 10}, {1, 10}, {2, 10},
+	}
+	for _, tc := range cases {
+		if got := nearestRank(sorted, tc.p); got != tc.want {
+			t.Errorf("nearestRank(p=%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := nearestRank(nil, 0.5); got != 0 {
+		t.Errorf("empty sample: got %v, want 0", got)
+	}
+	if got := nearestRank([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single sample: got %v, want 7", got)
+	}
+}

@@ -135,12 +135,23 @@ type modelInfo struct {
 	xferNs     float64
 }
 
-// engineState is the placement event loop's working set.
-type engineState struct {
+// Engine is the placement event loop in open, incremental form: a machine
+// that admits one job at a time, places it against live node views at its
+// virtual arrival instant, and retires node events (wave launches and
+// lockstep round completions) one by one. Nothing about it assumes the
+// workload is closed — jobs may keep arriving forever, as long as arrivals
+// are fed in nondecreasing virtual-time order — which is what lets the same
+// core serve both the batch PlaceJobs wrapper (admit a sorted slice, pump
+// until done) and the streaming admission→placement→execution pipeline
+// (jobs arrive over a channel, the executor owns the pump). An Engine is
+// not safe for concurrent use; exactly one goroutine must drive it.
+type Engine struct {
 	specs  []JobSpec
 	nodes  []*nodeState
 	placed []PlacedJob
 	pol    Policy
+	arb    multijob.Arbiter
+	rts    []NodeRuntime
 	ic     *cluster.Interconnect
 	infos  map[string]*modelInfo
 	graphs func(string) *graph.Graph
@@ -163,26 +174,13 @@ type engineState struct {
 	h         *waveHeap
 	idxW      int
 	completed int
+	arrivalNs float64 // admission high-water mark: arrivals must not regress
 }
 
-// PlaceJobs admits the workload onto the cluster under the given options
-// and runs it to completion on one virtual cluster clock. Arrivals are
-// processed in (arrival time, input index) order; each arrival is placed by
-// the policy against per-node hardware views. A node that becomes free
-// gang-schedules its staged jobs — up to its hardware's wave capacity and,
-// on a GPU node, its HBM working-set budget, packed shortest-predicted-
-// first — into a co-run wave of lockstep one-step rounds through its
-// NodeRuntime. When preemption triggers are armed (Options.Preempt), a
-// high-priority or deadline-at-risk arrival can cut a running wave at its
-// next step boundary; the wave's unfinished jobs are checkpointed and
-// re-priced across the fleet, paying the interconnect for checkpoint state
-// plus re-staging when they move. Execution is fully deterministic, and a
-// preemptive run whose triggers never fire reports byte-identically to a
-// run-to-completion one.
-func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
-	if err := w.Validate(); err != nil {
-		return nil, err
-	}
+// NewEngine builds an open placement engine over the cluster: runtimes
+// resolved per hardware descriptor, policy/arbiter/triggers parsed, no jobs
+// admitted yet.
+func NewEngine(c Cluster, opts Options) (*Engine, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -199,7 +197,6 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("place: %w", err)
 	}
 	cfg := opts.config()
-	ic := c.interconnect()
 
 	graphs := make(map[string]*graph.Graph)
 	graphFor := func(model string) *graph.Graph {
@@ -215,32 +212,11 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 	// machine or device share its per-model work cache.
 	runtimes := buildRuntimes(c.nodeDescriptors(), arb, cfg, graphFor)
 
-	// Canonicalize the specs: resolved model spelling, defaulted names.
-	specs := make([]JobSpec, len(w))
-	for i, j := range w {
-		j.Model, _ = nn.Resolve(j.Model) // Validate already vetted it
-		j.Name = j.label(i)
-		specs[i] = j
-	}
-
-	e := &engineState{
-		specs: specs, pol: pol, ic: ic,
+	e := &Engine{
+		pol: pol, arb: arb, rts: runtimes, ic: c.interconnect(),
 		infos: make(map[string]*modelInfo), graphs: graphFor,
 		preemptOn: preemptOn, triggers: triggers,
-		placed:       make([]PlacedJob, len(specs)),
-		steps:        make([]int, len(specs)),
-		done:         make([]int, len(specs)),
-		readyNs:      make([]float64, len(specs)),
-		started:      make([]bool, len(specs)),
-		countedOn:    make([]int, len(specs)),
-		checkpointNs: make([]float64, len(specs)),
-		path:         make([][]string, len(specs)),
-		h:            &waveHeap{},
-	}
-	for i, sp := range specs {
-		e.steps[i] = sp.steps()
-		e.checkpointNs[i] = -1
-		e.countedOn[i] = -1
+		h: &waveHeap{},
 	}
 	e.nodes = make([]*nodeState, len(runtimes))
 	for i, rt := range runtimes {
@@ -250,47 +226,111 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 	if e.idxW < 2 {
 		e.idxW = 2
 	}
+	return e, nil
+}
 
-	// Arrival order: by time, input index breaking ties.
-	order := make([]int, len(specs))
-	for i := range order {
-		order[i] = i
+// Admitted is the number of jobs admitted so far; Completed the number that
+// have retired every step.
+func (e *Engine) Admitted() int  { return len(e.specs) }
+func (e *Engine) Completed() int { return e.completed }
+
+// Policy names the engine's placement policy; Arbiter its per-node
+// cross-job policy.
+func (e *Engine) Policy() string  { return e.pol.Name() }
+func (e *Engine) Arbiter() string { return e.arb.Name() }
+
+// Admit registers one job with the engine and returns its job index. The
+// spec must be individually valid (JobSpec.Check) and its arrival must not
+// precede any earlier admission — the engine's clock never runs backwards;
+// a streaming admission stage clamps out-of-order arrivals before calling
+// Admit. Admission alone does not place the job: call Place (or PlaceAuto)
+// when the virtual clock reaches its arrival.
+func (e *Engine) Admit(j JobSpec) (int, error) {
+	canon, err := nn.Resolve(j.Model)
+	if err != nil {
+		return -1, fmt.Errorf("place: %w", err)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return specs[order[a]].ArrivalNs < specs[order[b]].ArrivalNs
-	})
-
-	next := 0 // next arrival, as an index into order
-	for e.completed < len(specs) {
-		eventNode, eventNs := e.peek()
-
-		// Arrivals strictly before — and exactly at — the next node event
-		// are placed first, so a job arriving as a node frees can still
-		// influence (or join) the node's next wave.
-		if next < len(order) {
-			ji := order[next]
-			if at := specs[ji].ArrivalNs; eventNode < 0 || at <= eventNs {
-				next++
-				if err := e.placeArrival(ji, at); err != nil {
-					return nil, err
-				}
-				continue
-			}
-		}
-		if eventNode < 0 {
-			return nil, fmt.Errorf("place: stalled with %d of %d jobs done and no runnable wave",
-				e.completed, len(specs))
-		}
-		heap.Pop(e.h) // consume the peeked (valid) entry
-		if e.nodes[eventNode].wave != nil {
-			if err := e.finishRound(eventNode); err != nil {
-				return nil, err
-			}
-		} else if err := e.launchWave(eventNode, eventNs); err != nil {
-			return nil, err
-		}
+	if j.ArrivalNs < e.arrivalNs {
+		return -1, fmt.Errorf("place: job %s arrives at %v, before the admission clock %v",
+			j.label(len(e.specs)), j.ArrivalNs, e.arrivalNs)
 	}
+	e.arrivalNs = j.ArrivalNs
+	j.Model = canon
+	j.Name = j.label(len(e.specs))
+	ji := len(e.specs)
+	e.specs = append(e.specs, j)
+	e.placed = append(e.placed, PlacedJob{})
+	e.steps = append(e.steps, j.steps())
+	e.done = append(e.done, 0)
+	e.readyNs = append(e.readyNs, 0)
+	e.started = append(e.started, false)
+	e.countedOn = append(e.countedOn, -1)
+	e.checkpointNs = append(e.checkpointNs, -1)
+	e.path = append(e.path, nil)
+	return ji, nil
+}
 
+// Spec returns admitted job ji's canonical spec — model resolved, default
+// name filled. A pipeline placement stage feeds this (not the raw submitted
+// spec) to the policy, so its picks match PlaceAuto byte for byte.
+func (e *Engine) Spec(ji int) JobSpec { return e.specs[ji] }
+
+// NextEventNs is the earliest pending node event on the cluster clock
+// (+Inf, false when no wave can launch or progress without more arrivals).
+func (e *Engine) NextEventNs() (float64, bool) {
+	node, t := e.peek()
+	return t, node >= 0
+}
+
+// ProcessNextEvent retires the earliest pending node event — a wave launch
+// or a lockstep round completion — and returns the indices of the jobs that
+// finished their last step during it, in wave order.
+func (e *Engine) ProcessNextEvent() ([]int, error) {
+	node, t := e.peek()
+	if node < 0 {
+		return nil, fmt.Errorf("place: no pending node event")
+	}
+	heap.Pop(e.h) // consume the peeked (valid) entry
+	if e.nodes[node].wave != nil {
+		return e.finishRound(node)
+	}
+	return nil, e.launchWave(node, t)
+}
+
+// AdvanceTo retires every node event at or before t, returning all jobs
+// completed along the way. It never admits or places — the caller owns
+// arrival interleaving.
+func (e *Engine) AdvanceTo(t float64) ([]int, error) {
+	var completed []int
+	for {
+		node, et := e.peek()
+		if node < 0 || et > t {
+			return completed, nil
+		}
+		fin, err := e.ProcessNextEvent()
+		if err != nil {
+			return completed, err
+		}
+		completed = append(completed, fin...)
+	}
+}
+
+// Job snapshots job ji's current outcome: execution-derived step counts and
+// the migration path rendered so far. Valid any time after Place.
+func (e *Engine) Job(ji int) PlacedJob {
+	p := e.placed[ji]
+	p.StepsDone = e.done[ji]
+	if segs := e.path[ji]; len(segs) > 1 {
+		p.Path = strings.Join(segs, " -> ")
+	}
+	return p
+}
+
+// Finish seals the run and builds the Result: per-job outcomes in admission
+// order plus per-node usage and the aggregate metrics. Call it once, after
+// every admitted job has completed (a caller that stalls earlier should
+// surface its own error — Finish reports whatever retired).
+func (e *Engine) Finish() *Result {
 	for ji := range e.placed {
 		e.placed[ji].StepsDone = e.done[ji]
 		if segs := e.path[ji]; len(segs) > 1 {
@@ -298,9 +338,9 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 		}
 	}
 	out := &Result{
-		Policy: pol.Name(), Arbiter: arb.Name(), Nodes: len(e.nodes),
-		Fleet: fleetDescription(runtimes), Jobs: e.placed,
-		Preempt: preemptSpecName(preemptOn, triggers), TriggerFirings: e.firings,
+		Policy: e.pol.Name(), Arbiter: e.arb.Name(), Nodes: len(e.nodes),
+		Fleet: fleetDescription(e.rts), Jobs: e.placed,
+		Preempt: preemptSpecName(e.preemptOn, e.triggers), TriggerFirings: e.firings,
 	}
 	for i, ns := range e.nodes {
 		out.NodeStats = append(out.NodeStats, NodeStats{
@@ -309,7 +349,7 @@ func PlaceJobs(w Workload, c Cluster, opts Options) (*Result, error) {
 		})
 	}
 	out.finalize()
-	return out, nil
+	return out
 }
 
 // preemptSpecName canonicalizes the run's preemption configuration.
@@ -328,7 +368,7 @@ func preemptSpecName(on bool, ts []preempt.Trigger) string {
 }
 
 // info caches per-model graph, parameter payload and staging transfer.
-func (e *engineState) info(model string) *modelInfo {
+func (e *Engine) info(model string) *modelInfo {
 	if mi, ok := e.infos[model]; ok {
 		return mi
 	}
@@ -341,7 +381,7 @@ func (e *engineState) info(model string) *modelInfo {
 
 // push re-indexes node i in the event heap (stale entries are version-
 // skipped on peek).
-func (e *engineState) push(i int) {
+func (e *Engine) push(i int) {
 	ns := e.nodes[i]
 	ns.version++
 	if next := ns.nextEventNs(); !math.IsInf(next, 1) {
@@ -350,7 +390,7 @@ func (e *engineState) push(i int) {
 }
 
 // peek returns the earliest valid node event, or (-1, +Inf).
-func (e *engineState) peek() (int, float64) {
+func (e *Engine) peek() (int, float64) {
 	for e.h.Len() > 0 {
 		entry := (*e.h)[0]
 		if e.nodes[entry.node].version != entry.version {
@@ -363,20 +403,22 @@ func (e *engineState) peek() (int, float64) {
 }
 
 // pathSeg renders one node hop for a job's migration path.
-func (e *engineState) pathSeg(n int) string {
+func (e *Engine) pathSeg(n int) string {
 	return fmt.Sprintf("n%0*d/%s", e.idxW, n, e.nodes[n].rt.Kind())
 }
 
 // remainingWorkOn prices job ji's unfinished steps on node ns's hardware.
-func (e *engineState) remainingWorkOn(ns *nodeState, ji int) float64 {
+func (e *Engine) remainingWorkOn(ns *nodeState, ji int) float64 {
 	return float64(e.steps[ji]-e.done[ji]) * ns.rt.SoloWorkNs(e.specs[ji].Model)
 }
 
-// views snapshots every node for a policy decision at nowNs: per-node
-// hardware kind and capacity, the queued work priced on that hardware
-// (maintained incrementally, not rescanned), and the arriving job's total
-// predicted solo work on that hardware.
-func (e *engineState) views(ji int, nowNs float64) []NodeView {
+// Views snapshots every node for a placement decision on job ji at nowNs:
+// per-node hardware kind and capacity, the queued work priced on that
+// hardware (maintained incrementally, not rescanned), and the arriving
+// job's total predicted solo work on that hardware. The returned slice is
+// the caller's to keep — a pipeline placement stage may carry it across a
+// channel.
+func (e *Engine) Views(ji int, nowNs float64) []NodeView {
 	vs := make([]NodeView, len(e.nodes))
 	for i, ns := range e.nodes {
 		v := NodeView{
@@ -394,16 +436,23 @@ func (e *engineState) views(ji int, nowNs float64) []NodeView {
 	return vs
 }
 
-// placeArrival runs the policy for one arriving job, stages it on the
-// chosen node, and gives the armed triggers a chance to cut a wave.
-func (e *engineState) placeArrival(ji int, at float64) error {
+// PlaceAuto places admitted job ji at its arrival instant using the
+// engine's own policy — the batch wrapper's path. A pipeline's placement
+// stage runs the identical policy itself (Views → Policy.Pick → Place), so
+// both paths make byte-identical decisions.
+func (e *Engine) PlaceAuto(ji int, at float64) error {
+	return e.Place(ji, e.pol.Pick(e.specs[ji], at, e.Views(ji, at)), at)
+}
+
+// Place stages admitted job ji on the chosen node at its arrival instant
+// and gives the armed preemption triggers a chance to cut a wave.
+func (e *Engine) Place(ji, n int, at float64) error {
 	sp := e.specs[ji]
-	mi := e.info(sp.Model)
-	n := e.pol.Pick(sp, at, e.views(ji, at))
 	if n < 0 || n >= len(e.nodes) {
 		return fmt.Errorf("place: policy %q placed job %s on node %d of a %d-node cluster",
 			e.pol.Name(), sp.Name, n, len(e.nodes))
 	}
+	mi := e.info(sp.Model)
 	ns := e.nodes[n]
 	e.placed[ji] = PlacedJob{
 		Name: sp.Name, Model: sp.Model, Node: n, Kind: ns.rt.Kind(),
@@ -425,7 +474,7 @@ func (e *engineState) placeArrival(ji int, at float64) error {
 // fireTriggers evaluates every armed trigger against the arrival and marks
 // the waves they cut. A wave is cut at most once; firings count the newly
 // marked cuts.
-func (e *engineState) fireTriggers(ji, node int, at float64) {
+func (e *Engine) fireTriggers(ji, node int, at float64) {
 	if !e.preemptOn || len(e.triggers) == 0 {
 		return
 	}
@@ -455,7 +504,7 @@ func (e *engineState) fireTriggers(ji, node int, at float64) {
 }
 
 // snapshot builds the triggers' read-only fleet view.
-func (e *engineState) snapshot() []preempt.NodeSnapshot {
+func (e *Engine) snapshot() []preempt.NodeSnapshot {
 	out := make([]preempt.NodeSnapshot, len(e.nodes))
 	for i, ns := range e.nodes {
 		s := preempt.NodeSnapshot{
@@ -486,7 +535,7 @@ func (e *engineState) snapshot() []preempt.NodeSnapshot {
 // always admitted so an oversized model still runs. GPU nodes pack
 // shortest-predicted-first (stable, so equal-work jobs keep placement
 // order); CPU nodes admit in placement order.
-func (e *engineState) admitWave(n int, startNs float64) []int {
+func (e *Engine) admitWave(n int, startNs float64) []int {
 	ns := e.nodes[n]
 	capacity := ns.rt.Capacity()
 	memCap := ns.rt.MemCapacityBytes()
@@ -545,7 +594,7 @@ func (e *engineState) admitWave(n int, startNs float64) []int {
 }
 
 // launchWave starts a new gang wave on node n at startNs.
-func (e *engineState) launchWave(n int, startNs float64) error {
+func (e *Engine) launchWave(n int, startNs float64) error {
 	ns := e.nodes[n]
 	admit := e.admitWave(n, startNs)
 	if len(admit) == 0 {
@@ -579,7 +628,7 @@ func (e *engineState) launchWave(n int, startNs float64) error {
 
 // runRound prices one lockstep round — one training step of every active
 // job — through the node's runtime and schedules the round-end event.
-func (e *engineState) runRound(n int, startNs float64) error {
+func (e *Engine) runRound(n int, startNs float64) error {
 	ns := e.nodes[n]
 	w := ns.wave
 	jobs := make([]WaveJob, len(w.active))
@@ -607,7 +656,7 @@ func (e *engineState) runRound(n int, startNs float64) error {
 // job retires its last step this round — the single-step case. Sorting by
 // remaining rounds and walking suffix maxima keeps the cost
 // O(jobs log jobs + total rounds) instead of quadratic in the step count.
-func (e *engineState) drainTailNs(w *waveState) float64 {
+func (e *Engine) drainTailNs(w *waveState) float64 {
 	type tail struct {
 		rem  int
 		span float64
@@ -637,14 +686,15 @@ func (e *engineState) drainTailNs(w *waveState) float64 {
 	return total
 }
 
-// finishRound retires the current round at its end: every active job
-// banks one step; jobs out of steps complete, and the wave either ends,
-// is cut into checkpoints, or rolls into its next round.
-func (e *engineState) finishRound(n int) error {
+// finishRound retires the current round at its end: every active job banks
+// one step; jobs out of steps complete, and the wave either ends, is cut
+// into checkpoints, or rolls into its next round. It returns the jobs that
+// completed, in wave order.
+func (e *Engine) finishRound(n int) ([]int, error) {
 	ns := e.nodes[n]
 	w := ns.wave
 	t := w.roundEndNs
-	var remain []int
+	var remain, finished []int
 	for k, ji := range w.active {
 		jr := w.res.Jobs[k]
 		e.done[ji]++
@@ -661,6 +711,7 @@ func (e *engineState) finishRound(n int) error {
 			}
 			p.DeadlineMet = p.DeadlineNs > 0 && p.FinishNs <= p.DeadlineNs
 			e.completed++
+			finished = append(finished, ji)
 		} else {
 			// Lockstep: the job waits out the round before its next step.
 			p.CoRunNs += w.res.TotalNs
@@ -689,12 +740,12 @@ func (e *engineState) finishRound(n int) error {
 			w.drainNs = w.roundEndNs + e.drainTailNs(w)
 			ns.busyNs += w.res.TotalNs
 			e.push(n)
-			return nil
+			return finished, nil
 		}
 		w.active = remain
-		return e.runRound(n, t)
+		return finished, e.runRound(n, t)
 	}
-	return nil
+	return finished, nil
 }
 
 // checkpointWave captures every unfinished job of a cut wave at the step
@@ -702,7 +753,7 @@ func (e *engineState) finishRound(n int) error {
 // the node where its remaining steps are predicted to finish soonest,
 // paying the interconnect for checkpoint state plus re-staging when that
 // node is not the one it was preempted from.
-func (e *engineState) checkpointWave(from int, remain []int, t float64) {
+func (e *Engine) checkpointWave(from int, remain []int, t float64) {
 	for _, ji := range remain {
 		sp := e.specs[ji]
 		mi := e.info(sp.Model)

@@ -86,41 +86,69 @@ func (j JobSpec) label(i int) string {
 	return fmt.Sprintf("%s#%d", j.Model, i)
 }
 
+// Check rejects specs no placement engine could admit: negative or NaN
+// arrival times, unknown models, deadlines that precede the job's arrival,
+// and negative step counts. The index i labels the job in errors (its
+// position in a workload slice, or its admission sequence in a stream).
+func (j JobSpec) Check(i int) error {
+	if math.IsNaN(j.ArrivalNs) || math.IsInf(j.ArrivalNs, 0) {
+		return fmt.Errorf("place: job %d (%s) has non-finite arrival time %v", i, j.label(i), j.ArrivalNs)
+	}
+	if j.ArrivalNs < 0 {
+		return fmt.Errorf("place: job %d (%s) has negative arrival time %v", i, j.label(i), j.ArrivalNs)
+	}
+	if _, err := nn.Resolve(j.Model); err != nil {
+		return fmt.Errorf("place: job %d (%s): %w", i, j.label(i), err)
+	}
+	if math.IsNaN(j.DeadlineNs) || math.IsInf(j.DeadlineNs, 0) {
+		return fmt.Errorf("place: job %d (%s) has non-finite deadline %v", i, j.label(i), j.DeadlineNs)
+	}
+	if j.DeadlineNs < 0 {
+		return fmt.Errorf("place: job %d (%s) has negative deadline %v", i, j.label(i), j.DeadlineNs)
+	}
+	if j.DeadlineNs > 0 && j.DeadlineNs < j.ArrivalNs {
+		return fmt.Errorf("place: job %d (%s) has deadline %v before arrival %v",
+			i, j.label(i), j.DeadlineNs, j.ArrivalNs)
+	}
+	if j.Steps < 0 {
+		return fmt.Errorf("place: job %d (%s) has negative step count %d", i, j.label(i), j.Steps)
+	}
+	return nil
+}
+
 // Workload is a stream of jobs submitted to the cluster.
 type Workload []JobSpec
 
 // Validate rejects workloads no placement engine could admit: empty
-// streams, negative or NaN arrival times, unknown models, and deadlines
-// that precede their job's arrival.
+// streams, plus every per-spec rejection of JobSpec.Check.
 func (w Workload) Validate() error {
 	if len(w) == 0 {
 		return fmt.Errorf("place: empty workload")
 	}
 	for i, j := range w {
-		if math.IsNaN(j.ArrivalNs) || math.IsInf(j.ArrivalNs, 0) {
-			return fmt.Errorf("place: job %d (%s) has non-finite arrival time %v", i, j.label(i), j.ArrivalNs)
-		}
-		if j.ArrivalNs < 0 {
-			return fmt.Errorf("place: job %d (%s) has negative arrival time %v", i, j.label(i), j.ArrivalNs)
-		}
-		if _, err := nn.Resolve(j.Model); err != nil {
-			return fmt.Errorf("place: job %d (%s): %w", i, j.label(i), err)
-		}
-		if math.IsNaN(j.DeadlineNs) || math.IsInf(j.DeadlineNs, 0) {
-			return fmt.Errorf("place: job %d (%s) has non-finite deadline %v", i, j.label(i), j.DeadlineNs)
-		}
-		if j.DeadlineNs < 0 {
-			return fmt.Errorf("place: job %d (%s) has negative deadline %v", i, j.label(i), j.DeadlineNs)
-		}
-		if j.DeadlineNs > 0 && j.DeadlineNs < j.ArrivalNs {
-			return fmt.Errorf("place: job %d (%s) has deadline %v before arrival %v",
-				i, j.label(i), j.DeadlineNs, j.ArrivalNs)
-		}
-		if j.Steps < 0 {
-			return fmt.Errorf("place: job %d (%s) has negative step count %d", i, j.label(i), j.Steps)
+		if err := j.Check(i); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// Canonical validates the workload and returns a copy with every spec in
+// the engine's canonical form: resolved model spellings and default names
+// filled from the job's input index — the normalization both the batch
+// wrapper and the streaming pipeline's batch feeder apply before admission,
+// so their default job labels agree.
+func (w Workload) Canonical() (Workload, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	specs := make(Workload, len(w))
+	for i, j := range w {
+		j.Model, _ = nn.Resolve(j.Model) // Validate already vetted it
+		j.Name = j.label(i)
+		specs[i] = j
+	}
+	return specs, nil
 }
 
 // Cluster describes the hardware the workload is placed onto: a fleet of
@@ -254,6 +282,11 @@ func (o Options) policy() string {
 	}
 	return o.Policy
 }
+
+// PolicyName is the effective placement policy name after defaulting — the
+// spelling a pipeline placement stage resolves through NewPolicy so its
+// picks match the engine's own.
+func (o Options) PolicyName() string { return o.policy() }
 
 func (o Options) arbiter() string {
 	if o.Arbiter == "" {

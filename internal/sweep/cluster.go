@@ -10,6 +10,7 @@ import (
 	"opsched/internal/gpu"
 	"opsched/internal/hw"
 	"opsched/internal/nn"
+	"opsched/internal/pipeline"
 	"opsched/internal/place"
 )
 
@@ -50,6 +51,13 @@ type ClusterGrid struct {
 	// crossed with every cell; empty means {"off"} — run-to-completion
 	// only, the grid the engine always swept.
 	Preempts []string
+	// Engines selects the execution paths crossed with every cell:
+	// "batch" (place.PlaceJobs) and/or "pipeline" (the streaming
+	// admission→placement→execution→metrics pipeline, fed the same closed
+	// workload). Empty means {"batch"}. The two engines are byte-identical
+	// on identical inputs — a "batch"×"pipeline" grid is the equivalence
+	// gate CI diffs.
+	Engines []string
 	// Arbiter is the per-node cross-job policy; empty means "fair".
 	Arbiter string
 	// Machine is the CPU-node hardware model; nil means hw.NewKNL().
@@ -98,15 +106,30 @@ func (g ClusterGrid) preempts() []string {
 	return g.Preempts
 }
 
+func (g ClusterGrid) engines() []string {
+	if len(g.Engines) == 0 {
+		return []string{EngineBatch}
+	}
+	return g.Engines
+}
+
+// Engine names accepted by ClusterGrid.Engines.
+const (
+	EngineBatch    = "batch"
+	EnginePipeline = "pipeline"
+)
+
 // ClusterCell is the outcome of one cluster-placement grid point.
 type ClusterCell struct {
-	// Workload, Policy, Nodes (CPU count), GPUs and Preempt name the grid
-	// point; Preempt is "off" for run-to-completion cells.
+	// Workload, Policy, Nodes (CPU count), GPUs, Preempt and Engine name
+	// the grid point; Preempt is "off" for run-to-completion cells and
+	// Engine is "batch" or "pipeline".
 	Workload string
 	Policy   string
 	Nodes    int
 	GPUs     int
 	Preempt  string
+	Engine   string
 	// Result is the full placement outcome (nil until evaluated). Its
 	// rendered report is deterministic: a parallel sweep produces
 	// byte-identical reports to a serial one.
@@ -132,15 +155,17 @@ func (g ClusterGrid) points() []clusterPoint {
 			for _, size := range g.sizes() {
 				for _, gcount := range g.gpus() {
 					for _, pre := range g.preempts() {
-						pts = append(pts, clusterPoint{
-							cell: ClusterCell{Workload: wl.Name, Policy: pol,
-								Nodes: size, GPUs: gcount, Preempt: pre},
-							jobs: wl.Jobs,
-							c: place.Cluster{Nodes: size, Machine: g.Machine,
-								GPUs: gcount, GPU: g.GPU, Interconnect: g.Interconnect},
-							opts: place.Options{Policy: pol, Arbiter: g.Arbiter,
-								Config: g.Config, Preempt: preemptOpt(pre)},
-						})
+						for _, eng := range g.engines() {
+							pts = append(pts, clusterPoint{
+								cell: ClusterCell{Workload: wl.Name, Policy: pol,
+									Nodes: size, GPUs: gcount, Preempt: pre, Engine: eng},
+								jobs: wl.Jobs,
+								c: place.Cluster{Nodes: size, Machine: g.Machine,
+									GPUs: gcount, GPU: g.GPU, Interconnect: g.Interconnect},
+								opts: place.Options{Policy: pol, Arbiter: g.Arbiter,
+									Config: g.Config, Preempt: preemptOpt(pre)},
+							})
+						}
 					}
 				}
 			}
@@ -158,8 +183,8 @@ func preemptOpt(pre string) string {
 }
 
 // Cells enumerates the grid points in deterministic workload-major,
-// policy-minor, size-GPU-count-then-preempt-innermost order — the order
-// RunClusterGrid's results use.
+// policy-minor, size-GPU-count-preempt-then-engine-innermost order — the
+// order RunClusterGrid's results use.
 func (g ClusterGrid) Cells() []ClusterCell {
 	pts := g.points()
 	cells := make([]ClusterCell, len(pts))
@@ -178,10 +203,19 @@ func RunClusterGrid(ctx context.Context, g ClusterGrid, parallelism int) ([]Clus
 	return Map(ctx, parallelism, g.points(), func(ctx context.Context, _ int, pt clusterPoint) (ClusterCell, error) {
 		start := time.Now()
 		cell := pt.cell
-		res, err := place.PlaceJobs(pt.jobs, pt.c, pt.opts)
+		var res *place.Result
+		var err error
+		switch cell.Engine {
+		case "", EngineBatch:
+			res, err = place.PlaceJobs(pt.jobs, pt.c, pt.opts)
+		case EnginePipeline:
+			res, err = pipeline.RunBatch(ctx, pt.jobs, pt.c, pt.opts)
+		default:
+			err = fmt.Errorf("unknown engine %q (have %s, %s)", cell.Engine, EngineBatch, EnginePipeline)
+		}
 		if err != nil {
-			return ClusterCell{}, fmt.Errorf("sweep: cell %s/%s/n=%d/g=%d/p=%s: %w",
-				cell.Workload, cell.Policy, cell.Nodes, cell.GPUs, cell.Preempt, err)
+			return ClusterCell{}, fmt.Errorf("sweep: cell %s/%s/n=%d/g=%d/p=%s/e=%s: %w",
+				cell.Workload, cell.Policy, cell.Nodes, cell.GPUs, cell.Preempt, cell.Engine, err)
 		}
 		cell.Result = res
 		cell.Elapsed = time.Since(start)

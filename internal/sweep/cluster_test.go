@@ -198,3 +198,52 @@ func TestClusterGridPreemptAxis(t *testing.T) {
 		t.Error("bogus preempt spec accepted by the sweep")
 	}
 }
+
+// TestClusterGridEngineAxis: the engine axis crosses batch and pipeline
+// execution over otherwise identical cells, and the two engines render
+// byte-identically — the scheduler-as-a-service refactoring's equivalence
+// gate, at the sweep level, under both serial and parallel evaluation.
+func TestClusterGridEngineAxis(t *testing.T) {
+	jobs, err := place.SyntheticSteps(5, 3, []string{nn.LSTM, nn.DCGAN}, 1e6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ClusterGrid{
+		Workloads: []NamedWorkload{{Name: "steps5", Jobs: jobs}},
+		Policies:  []string{"binpack"},
+		Sizes:     []int{1},
+		GPUs:      []int{1},
+		Preempts:  []string{"off", "priority+deadline+load"},
+		Engines:   []string{EngineBatch, EnginePipeline},
+	}
+	cells := g.Cells()
+	if len(cells) != 4 || cells[0].Engine != EngineBatch || cells[1].Engine != EnginePipeline {
+		t.Fatalf("engine axis enumerates %+v", cells)
+	}
+	serial, err := RunClusterGrid(context.Background(), g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunClusterGrid(context.Background(), g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if s, p := serial[i].Result.Render(), parallel[i].Result.Render(); s != p {
+			t.Errorf("engine cell %d differs between serial and parallel sweeps:\n%s\nvs\n%s", i, s, p)
+		}
+	}
+	// Adjacent cells differ only in engine; their reports must match.
+	for i := 0; i+1 < len(serial); i += 2 {
+		b, p := serial[i].Result.Render(), serial[i+1].Result.Render()
+		if b != p {
+			t.Errorf("batch and pipeline engines diverge on cell %d (%s):\n%s\nvs\n%s",
+				i, serial[i].Preempt, b, p)
+		}
+	}
+	if _, err := RunClusterGrid(context.Background(), ClusterGrid{
+		Engines: []string{"bogus"},
+	}, 1); err == nil {
+		t.Error("bogus engine name accepted by the sweep")
+	}
+}

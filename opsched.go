@@ -31,6 +31,7 @@ package opsched
 
 import (
 	"context"
+	"io"
 
 	"opsched/internal/core"
 	"opsched/internal/exec"
@@ -40,9 +41,11 @@ import (
 	"opsched/internal/multijob"
 	"opsched/internal/nn"
 	"opsched/internal/perfmodel"
+	"opsched/internal/pipeline"
 	"opsched/internal/place"
 	"opsched/internal/preempt"
 	"opsched/internal/sweep"
+	"opsched/internal/tracefile"
 )
 
 // Machine is the manycore hardware model (see hw.Machine).
@@ -383,4 +386,69 @@ type ClusterSweepCell = sweep.ClusterCell
 // reports are byte-identical whatever the parallelism.
 func RunClusterSweep(ctx context.Context, g ClusterSweepGrid, parallelism int) ([]ClusterSweepCell, error) {
 	return sweep.RunClusterGrid(ctx, g, parallelism)
+}
+
+// Engine names accepted by ClusterSweepGrid.Engines: the closed batch
+// engine and the streaming pipeline, byte-identical on identical inputs.
+const (
+	EngineBatch    = sweep.EngineBatch
+	EnginePipeline = sweep.EnginePipeline
+)
+
+// JobPipeline is a running admission→placement→execution→metrics chain:
+// Submit jobs (and optionally Ticks) from any goroutine, Close to send the
+// END flag through every stage, Wait for the sealed result, Snapshot for
+// live in-flight metrics (see pipeline.Pipeline).
+type JobPipeline = pipeline.Pipeline
+
+// PipelineConfig assembles a JobPipeline: the cluster and placement
+// options its execution stage builds an engine from, plus streaming knobs
+// (channel depth, live-snapshot cadence).
+type PipelineConfig = pipeline.Config
+
+// StreamSnapshot is a live metrics snapshot — counts, means, and
+// p50/p95/p99 queue and JCT percentiles over everything completed so far.
+type StreamSnapshot = pipeline.Snapshot
+
+// NewJobPipeline starts the four pipeline stages over a fresh engine.
+func NewJobPipeline(ctx context.Context, cfg PipelineConfig) (*JobPipeline, error) {
+	return pipeline.New(ctx, cfg)
+}
+
+// PlaceJobsStreamed is PlaceJobs routed through the streaming pipeline
+// instead of the batch loop. The two render byte-identically on identical
+// inputs — the equivalence CI gates.
+func PlaceJobsStreamed(ctx context.Context, w ClusterWorkload, c Cluster, opts PlaceOptions) (*PlacementResult, error) {
+	return pipeline.RunBatch(ctx, w, c, opts)
+}
+
+// JobSource streams job specs into a replay; Next returns io.EOF at the
+// end of the stream (tracefile.Reader is one).
+type JobSource = pipeline.Source
+
+// ReplayTrace drives a job source through a fresh pipeline. speed scales
+// wall-clock pacing of the virtual arrival gaps: 0 or +Inf replays as fast
+// as the pipeline drains, 1 paces at native trace rate, 60 at 60×. The
+// virtual-time result is the same whatever the speed.
+func ReplayTrace(ctx context.Context, cfg PipelineConfig, src JobSource, speed float64) (*PlacementResult, error) {
+	return pipeline.Replay(ctx, cfg, src, speed)
+}
+
+// TraceReader streams a Philly/Helios-style CSV job trace one row at a
+// time (see tracefile.Reader); it plugs into ReplayTrace as a JobSource.
+type TraceReader = tracefile.Reader
+
+// TraceOptions configure a trace read: time unit, arrival-gap compression,
+// unknown-model palette, default step count, malformed-row policy.
+type TraceOptions = tracefile.Options
+
+// TraceStats summarize a trace read: rows, jobs, skips, out-of-order
+// arrivals, hash-mapped model names.
+type TraceStats = tracefile.Stats
+
+// NewTraceReader decodes a trace's CSV header (case-insensitive alias
+// matching over Philly/Helios/ad-hoc spellings) and prepares a streaming
+// read.
+func NewTraceReader(r io.Reader, opts TraceOptions) (*TraceReader, error) {
+	return tracefile.NewReader(r, opts)
 }

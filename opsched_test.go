@@ -339,3 +339,93 @@ func TestFacadeErrorPaths(t *testing.T) {
 		t.Error("zero-job stepped workload accepted")
 	}
 }
+
+// TestFacadeStreamingPipeline drives the PR 6 surface end to end: a trace
+// read through NewTraceReader replays through ReplayTrace, the streamed
+// batch wrapper renders byte-identically to PlaceJobs, and a hand-built
+// JobPipeline submits/ticks/drains with live snapshots.
+func TestFacadeStreamingPipeline(t *testing.T) {
+	const trace = "model,submit,steps\nlstm,0,1\ndcgan,0.002,2\nlstm,0.005,1\n"
+	cfg := PipelineConfig{Cluster: Cluster{Nodes: 2}, Options: PlaceOptions{Policy: "spread"}}
+
+	src, err := NewTraceReader(strings.NewReader(trace), TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReplayTrace(context.Background(), cfg, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := src.Stats(); st.Jobs != 3 || len(replayed.Jobs) != 3 {
+		t.Fatalf("replay: stats %+v, %d jobs placed", st, len(replayed.Jobs))
+	}
+
+	src2, err := NewTraceReader(strings.NewReader(trace), TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := src2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := PlaceJobs(jobs, cfg.Cluster, cfg.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := PlaceJobsStreamed(context.Background(), jobs, cfg.Cluster, cfg.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Render() != streamed.Render() {
+		t.Fatalf("engines diverged:\n%s\nvs:\n%s", batch.Render(), streamed.Render())
+	}
+	if replayed.Render() != batch.Render() {
+		t.Fatalf("in-order replay diverged from batch:\n%s\nvs:\n%s", replayed.Render(), batch.Render())
+	}
+
+	p, err := NewJobPipeline(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := p.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Tick(1e15); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	res, err := p.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := p.Snapshot()
+	if snap.Completed != 3 || len(res.Jobs) != 3 {
+		t.Fatalf("pipeline: snapshot %+v, %d jobs", snap, len(res.Jobs))
+	}
+	if _, err := NewJobPipeline(context.Background(), PipelineConfig{Cluster: Cluster{Nodes: 0}}); err == nil {
+		t.Error("zero-node pipeline accepted")
+	}
+	if _, err := NewTraceReader(strings.NewReader("who\n1\n"), TraceOptions{}); err == nil {
+		t.Error("headerless trace accepted")
+	}
+	if _, err := ResolveModel("resnet"); err != nil {
+		t.Errorf("ResolveModel(resnet): %v", err)
+	}
+}
+
+// TestFacadeSweepHelpers pins the thin sweep-policy constructors and the
+// profile-cache stats accessor.
+func TestFacadeSweepHelpers(t *testing.T) {
+	if p := RuntimeSweepPolicy("ours", AllStrategies()); p.Name != "ours" {
+		t.Fatalf("RuntimeSweepPolicy name %q", p.Name)
+	}
+	if p := FIFOSweepPolicy("fifo", 2, 34); p.Name != "fifo" {
+		t.Fatalf("FIFOSweepPolicy name %q", p.Name)
+	}
+	hits, misses := ProfileCacheStats()
+	if hits < 0 || misses < 0 {
+		t.Fatalf("cache stats went negative: %d/%d", hits, misses)
+	}
+}
