@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -227,7 +228,14 @@ func (s *server) mux() *http.ServeMux {
 // +Inf: unpaced). Mirrors pipeline.Replay but leaves the stream open so an
 // HTTP feeder can keep submitting after the trace ends.
 func (s *server) feedTrace(ctx context.Context, src *opsched.TraceReader, speed float64) error {
-	pace := speed > 0
+	// Match pipeline.Replay's pacing rule exactly: 0 and +Inf both mean
+	// unpaced, so the two replay paths report comparable jobs/s.
+	pace := speed > 0 && !math.IsInf(speed, 1)
+	if pace {
+		log.Printf("trace replay: paced at %g× native arrival rate", speed)
+	} else {
+		log.Print("trace replay: unpaced (virtual time only)")
+	}
 	var epoch float64
 	first := true
 	start := time.Now()

@@ -55,6 +55,10 @@ type stageMsg struct {
 
 // grantMsg is execution's reply to a pending placement request: the job's
 // canonical spec and the live node views at its virtual arrival instant.
+// The views slice is the pipeline's recycled grantBuf: placement reads it
+// only inside Policy.Pick (policies are pure and never retain views), so
+// the steady state reuses one fleet-sized snapshot buffer instead of
+// allocating one per job.
 type grantMsg struct {
 	ji    int
 	nowNs float64
@@ -126,6 +130,12 @@ type Pipeline struct {
 	inClosed bool
 
 	met *liveMetrics
+
+	// grantBuf is the recycled node-view snapshot the grant/pick handshake
+	// carries. The handshake is strictly serialized — execution blocks on
+	// the pick before issuing the next grant — so one buffer suffices, and
+	// the two channel sends order every reuse (no data race, no pool).
+	grantBuf []place.NodeView
 
 	res  *place.Result
 	err  error

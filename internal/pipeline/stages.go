@@ -1,6 +1,10 @@
 package pipeline
 
-import "fmt"
+import (
+	"fmt"
+
+	"opsched/internal/place"
+)
 
 // admission is stage 1: it validates each submitted spec (rejections flow
 // downstream as flagReject messages, so the metrics stage counts them),
@@ -156,7 +160,12 @@ func (p *Pipeline) execution(in <-chan stageMsg, grants chan<- grantMsg, picks <
 				p.fail(err)
 				return
 			}
-			g := grantMsg{ji: ji, nowNs: at, spec: eng.Spec(ji), views: eng.Views(ji, at)}
+			if cap(p.grantBuf) < eng.Nodes() {
+				p.grantBuf = make([]place.NodeView, eng.Nodes())
+			}
+			vs := p.grantBuf[:eng.Nodes()]
+			eng.ViewsInto(ji, at, vs)
+			g := grantMsg{ji: ji, nowNs: at, spec: eng.Spec(ji), views: vs}
 			if !sendMsg(p.ctx, grants, g) {
 				return
 			}

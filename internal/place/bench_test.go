@@ -35,6 +35,41 @@ func BenchmarkPlaceLargeStream(b *testing.B) {
 	}
 }
 
+// BenchmarkPlaceHuge is the service-scale gate: tens of thousands of jobs
+// over a thousand-node (and, in full runs, a ten-thousand-node) GPU fleet
+// through the sharded event loop with gang-signature memoization. The 20k ×
+// 1k case must finish one iteration in well under a minute — the ISSUE 7
+// acceptance bound — and the 100k × 10k case is the ROADMAP north star,
+// skipped under -short because it holds a 10k-entry shard index hot for
+// minutes. ReportAllocs pins the arena-reuse work: per-round allocations
+// must not scale with the fleet.
+func BenchmarkPlaceHuge(b *testing.B) {
+	cases := []struct{ jobs, nodes int }{
+		{20_000, 1_000},
+		{100_000, 10_000},
+	}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("jobs=%d/gpus=%d", tc.jobs, tc.nodes), func(b *testing.B) {
+			if tc.jobs > 20_000 && testing.Short() {
+				b.Skip("100k × 10k is the full-suite north-star run; run without -short (scripts/bench.sh does)")
+			}
+			w := MustSynthetic(tc.jobs, 7, []string{nn.LSTM, nn.DCGAN}, 1e5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := PlaceJobs(w, Cluster{GPUs: tc.nodes}, Options{Policy: "model-aware"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Jobs) != tc.jobs {
+					b.Fatalf("placed %d jobs, want %d", len(res.Jobs), tc.jobs)
+				}
+			}
+			b.ReportMetric(float64(tc.jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
 // BenchmarkPlaceHeteroStream exercises the mixed-fleet path end to end —
 // CPU waves through multijob co-training next to GPU stream waves — at a
 // smoke-test size.

@@ -1,11 +1,11 @@
 package place
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"opsched/internal/cluster"
 	"opsched/internal/core"
@@ -96,6 +96,13 @@ func (ns *nodeState) residentCount() int {
 	return len(ns.wave.active)
 }
 
+// drainTail is one active job's contribution to a wave's drain estimate:
+// rounds remaining past the current one and the frozen per-step span.
+type drainTail struct {
+	rem  int
+	span float64
+}
+
 // waveEntry is one candidate node event in the event loop's min-heap.
 type waveEntry struct {
 	startNs float64
@@ -146,15 +153,16 @@ type modelInfo struct {
 // (jobs arrive over a channel, the executor owns the pump). An Engine is
 // not safe for concurrent use; exactly one goroutine must drive it.
 type Engine struct {
-	specs  []JobSpec
-	nodes  []*nodeState
-	placed []PlacedJob
-	pol    Policy
-	arb    multijob.Arbiter
-	rts    []NodeRuntime
-	ic     *cluster.Interconnect
-	infos  map[string]*modelInfo
-	graphs func(string) *graph.Graph
+	specs     []JobSpec
+	nodes     []*nodeState
+	placed    []PlacedJob
+	pol       Policy
+	arb       multijob.Arbiter
+	rts       []NodeRuntime // per node; nodes with equal hardware share one
+	uniqueRts []NodeRuntime // the deduplicated runtime set
+	ic        *cluster.Interconnect
+	infos     map[string]*modelInfo
+	graphs    func(string) *graph.Graph
 
 	// Preemption machinery: nil triggers with preemptOn false is the
 	// run-to-completion engine.
@@ -171,10 +179,21 @@ type Engine struct {
 	checkpointNs []float64 // per-job pending checkpoint capture time, -1 when none
 	path         [][]string
 
-	h         *waveHeap
+	si        *shardedIndex
 	idxW      int
 	completed int
 	arrivalNs float64 // admission high-water mark: arrivals must not regress
+
+	// Per-round hot-path scratch, reused across events so the steady state
+	// allocates nothing per round. The engine is single-threaded, so plain
+	// fields suffice; anything handed to a caller (waveState.active,
+	// Views results) is still freshly allocated.
+	waveJobBuf  []WaveJob
+	tailBuf     []drainTail
+	candBuf     []int
+	admittedBuf map[int]bool
+	viewBuf     []NodeView
+	snapBuf     []preempt.NodeSnapshot
 }
 
 // NewEngine builds an open placement engine over the cluster: runtimes
@@ -196,6 +215,9 @@ func NewEngine(c Cluster, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("place: %w", err)
 	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("place: shard count must be non-negative, got %d", opts.Shards)
+	}
 	cfg := opts.config()
 
 	graphs := make(map[string]*graph.Graph)
@@ -209,18 +231,33 @@ func NewEngine(c Cluster, opts Options) (*Engine, error) {
 	}
 
 	// One runtime per distinct hardware descriptor: nodes sharing a
-	// machine or device share its per-model work cache.
-	runtimes := buildRuntimes(c.nodeDescriptors(), arb, cfg, graphFor)
+	// machine or device share its per-model work cache — and its
+	// fleet-wide gang-signature wave memo.
+	runtimes := buildRuntimes(c.nodeDescriptors(), arb, cfg, graphFor, opts.NoWaveMemo)
 
+	shards := opts.Shards
+	if shards == 0 {
+		shards = autoShards(len(runtimes))
+	}
 	e := &Engine{
 		pol: pol, arb: arb, rts: runtimes, ic: c.interconnect(),
 		infos: make(map[string]*modelInfo), graphs: graphFor,
 		preemptOn: preemptOn, triggers: triggers,
-		h: &waveHeap{},
+		si: newShardedIndex(len(runtimes), shards),
 	}
 	e.nodes = make([]*nodeState, len(runtimes))
 	for i, rt := range runtimes {
 		e.nodes[i] = &nodeState{rt: rt, minReadyNs: math.Inf(1)}
+		shared := false
+		for _, u := range e.uniqueRts {
+			if u == rt {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			e.uniqueRts = append(e.uniqueRts, rt)
+		}
 	}
 	e.idxW = len(fmt.Sprintf("%d", len(e.nodes)-1))
 	if e.idxW < 2 {
@@ -233,6 +270,9 @@ func NewEngine(c Cluster, opts Options) (*Engine, error) {
 // have retired every step.
 func (e *Engine) Admitted() int  { return len(e.specs) }
 func (e *Engine) Completed() int { return e.completed }
+
+// Nodes is the fleet size — the length ViewsInto expects.
+func (e *Engine) Nodes() int { return len(e.nodes) }
 
 // Policy names the engine's placement policy; Arbiter its per-node
 // cross-job policy.
@@ -290,7 +330,7 @@ func (e *Engine) ProcessNextEvent() ([]int, error) {
 	if node < 0 {
 		return nil, fmt.Errorf("place: no pending node event")
 	}
-	heap.Pop(e.h) // consume the peeked (valid) entry
+	e.si.pop(node) // consume the peeked (valid) entry
 	if e.nodes[node].wave != nil {
 		return e.finishRound(node)
 	}
@@ -379,27 +419,46 @@ func (e *Engine) info(model string) *modelInfo {
 	return mi
 }
 
-// push re-indexes node i in the event heap (stale entries are version-
-// skipped on peek).
+// push re-indexes node i in its shard's event heap (stale entries are
+// version-skipped on peek).
 func (e *Engine) push(i int) {
 	ns := e.nodes[i]
 	ns.version++
 	if next := ns.nextEventNs(); !math.IsInf(next, 1) {
-		heap.Push(e.h, waveEntry{startNs: next, node: i, version: ns.version})
+		e.si.push(waveEntry{startNs: next, node: i, version: ns.version})
 	}
 }
 
-// peek returns the earliest valid node event, or (-1, +Inf).
+// peek returns the earliest valid node event across every shard — the
+// deterministic k-way merge on (time, node index) — or (-1, +Inf).
 func (e *Engine) peek() (int, float64) {
-	for e.h.Len() > 0 {
-		entry := (*e.h)[0]
-		if e.nodes[entry.node].version != entry.version {
-			heap.Pop(e.h)
-			continue
+	return e.si.peek(e.nodes)
+}
+
+// Shards is the event loop's shard count; ShardStats snapshots each
+// shard's node range, retired-event count and incremental queue
+// aggregates (the returned slice is the caller's to keep).
+func (e *Engine) Shards() int { return len(e.si.shards) }
+
+// ShardStats returns a copy of the per-shard statistics.
+func (e *Engine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(e.si.stats))
+	copy(out, e.si.stats)
+	return out
+}
+
+// WaveMemoStats sums the fleet's gang-signature wave-memo counters: cache
+// hits are waves priced without a simulation. Both are zero when the memo
+// is disabled (Options.NoWaveMemo).
+func (e *Engine) WaveMemoStats() (hits, misses int) {
+	for _, rt := range e.uniqueRts {
+		if ms, ok := rt.(waveMemoStats); ok {
+			h, m := ms.WaveMemoStats()
+			hits += h
+			misses += m
 		}
-		return entry.node, entry.startNs
 	}
-	return -1, math.Inf(1)
+	return hits, misses
 }
 
 // pathSeg renders one node hop for a job's migration path.
@@ -412,6 +471,13 @@ func (e *Engine) remainingWorkOn(ns *nodeState, ji int) float64 {
 	return float64(e.steps[ji]-e.done[ji]) * ns.rt.SoloWorkNs(e.specs[ji].Model)
 }
 
+// parallelViewsMin is the fleet size past which a sharded engine fans the
+// node-view snapshot out across its shards — one goroutine per contiguous
+// node range, writing disjoint slices, so the result is deterministic
+// whatever the interleaving. A var so tests can force the parallel path on
+// small fleets.
+var parallelViewsMin = 4096
+
 // Views snapshots every node for a placement decision on job ji at nowNs:
 // per-node hardware kind and capacity, the queued work priced on that
 // hardware (maintained incrementally, not rescanned), and the arriving
@@ -420,28 +486,74 @@ func (e *Engine) remainingWorkOn(ns *nodeState, ji int) float64 {
 // channel.
 func (e *Engine) Views(ji int, nowNs float64) []NodeView {
 	vs := make([]NodeView, len(e.nodes))
-	for i, ns := range e.nodes {
-		v := NodeView{
-			Index: i, Kind: ns.rt.Kind(), Capacity: ns.rt.Capacity(),
-			FreeNs: ns.viewFreeNs(), Queued: len(ns.queue),
-			QueuedWorkNs: ns.queuedWorkNs,
-			JobWorkNs:    float64(e.steps[ji]) * ns.rt.SoloWorkNs(e.specs[ji].Model),
-			Alpha:        ns.rt.WaveAlpha(),
-		}
-		if v.FreeNs > nowNs {
-			v.Resident = ns.residentCount()
-		}
-		vs[i] = v
-	}
+	e.ViewsInto(ji, nowNs, vs)
 	return vs
+}
+
+// ViewsInto fills vs — which must have length len(nodes) — with the same
+// snapshot Views returns, without allocating: the hot path for callers that
+// reuse a scratch slice (PlaceAuto, the pipeline's pooled grants). On a
+// sharded engine with a fleet of at least parallelViewsMin nodes the fill
+// fans out across the shards' disjoint node ranges.
+func (e *Engine) ViewsInto(ji int, nowNs float64, vs []NodeView) {
+	if len(vs) != len(e.nodes) {
+		panic(fmt.Sprintf("place: ViewsInto needs a %d-node slice, got %d", len(e.nodes), len(vs)))
+	}
+	model := e.specs[ji].Model
+	steps := float64(e.steps[ji])
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ns := e.nodes[i]
+			v := NodeView{
+				Index: i, Kind: ns.rt.Kind(), Capacity: ns.rt.Capacity(),
+				FreeNs: ns.viewFreeNs(), Queued: len(ns.queue),
+				QueuedWorkNs: ns.queuedWorkNs,
+				JobWorkNs:    steps * ns.rt.SoloWorkNs(model),
+				Alpha:        ns.rt.WaveAlpha(),
+			}
+			if v.FreeNs > nowNs {
+				v.Resident = ns.residentCount()
+			}
+			vs[i] = v
+		}
+	}
+	if len(e.si.shards) > 1 && len(e.nodes) >= parallelViewsMin {
+		// Pre-warm each distinct runtime's per-model work cache serially so
+		// the concurrent fill is read-only on it.
+		for _, rt := range e.uniqueRts {
+			rt.SoloWorkNs(model)
+		}
+		var wg sync.WaitGroup
+		for s := range e.si.shards {
+			lo, hi := e.si.firstNode(s), e.si.firstNode(s+1)
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fill(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	fill(0, len(e.nodes))
 }
 
 // PlaceAuto places admitted job ji at its arrival instant using the
 // engine's own policy — the batch wrapper's path. A pipeline's placement
 // stage runs the identical policy itself (Views → Policy.Pick → Place), so
-// both paths make byte-identical decisions.
+// both paths make byte-identical decisions. The node views are built into
+// an engine-owned scratch slice; policies see them only for the duration of
+// Pick and must not retain them.
 func (e *Engine) PlaceAuto(ji int, at float64) error {
-	return e.Place(ji, e.pol.Pick(e.specs[ji], at, e.Views(ji, at)), at)
+	if cap(e.viewBuf) < len(e.nodes) {
+		e.viewBuf = make([]NodeView, len(e.nodes))
+	}
+	vs := e.viewBuf[:len(e.nodes)]
+	e.ViewsInto(ji, at, vs)
+	return e.Place(ji, e.pol.Pick(e.specs[ji], at, vs), at)
 }
 
 // Place stages admitted job ji on the chosen node at its arrival instant
@@ -461,8 +573,10 @@ func (e *Engine) Place(ji, n int, at float64) error {
 	}
 	e.readyNs[ji] = at + mi.xferNs
 	e.path[ji] = []string{e.pathSeg(n)}
+	work := e.remainingWorkOn(ns, ji)
 	ns.queue = append(ns.queue, ji)
-	ns.queuedWorkNs += e.remainingWorkOn(ns, ji)
+	ns.queuedWorkNs += work
+	e.si.queueDelta(n, 1, work)
 	if e.readyNs[ji] < ns.minReadyNs {
 		ns.minReadyNs = e.readyNs[ji]
 	}
@@ -503,13 +617,20 @@ func (e *Engine) fireTriggers(ji, node int, at float64) {
 	}
 }
 
-// snapshot builds the triggers' read-only fleet view.
+// snapshot builds the triggers' read-only fleet view into engine-owned
+// scratch — triggers inspect it inside Fire and never retain it, so the
+// backing arrays (including each node's Resident list) are reused across
+// arrivals.
 func (e *Engine) snapshot() []preempt.NodeSnapshot {
-	out := make([]preempt.NodeSnapshot, len(e.nodes))
+	if cap(e.snapBuf) < len(e.nodes) {
+		e.snapBuf = make([]preempt.NodeSnapshot, len(e.nodes))
+	}
+	out := e.snapBuf[:len(e.nodes)]
 	for i, ns := range e.nodes {
 		s := preempt.NodeSnapshot{
 			Index: i, Kind: ns.rt.Kind(),
 			Queued: len(ns.queue), QueuedWorkNs: ns.queuedWorkNs,
+			Resident: out[i].Resident[:0],
 		}
 		if w := ns.wave; w != nil {
 			s.InWave = true
@@ -539,12 +660,14 @@ func (e *Engine) admitWave(n int, startNs float64) []int {
 	ns := e.nodes[n]
 	capacity := ns.rt.Capacity()
 	memCap := ns.rt.MemCapacityBytes()
-	cands := make([]int, 0, len(ns.queue))
+	prevQueued, prevWorkNs := len(ns.queue), ns.queuedWorkNs
+	cands := e.candBuf[:0]
 	for _, ji := range ns.queue {
 		if e.readyNs[ji] <= startNs {
 			cands = append(cands, ji)
 		}
 	}
+	e.candBuf = cands
 	if ns.rt.Kind() == KindGPU {
 		// Highest priority first, then shortest remaining work — a
 		// resumed checkpoint is priced at its unfinished steps, not its
@@ -559,8 +682,15 @@ func (e *Engine) admitWave(n int, startNs float64) []int {
 			return e.remainingWorkOn(ns, cands[a]) < e.remainingWorkOn(ns, cands[b])
 		})
 	}
+	// admit escapes into waveState.active, so it alone is freshly
+	// allocated; the membership set is reused scratch.
 	admit := make([]int, 0, len(cands))
-	admitted := make(map[int]bool, len(cands))
+	if e.admittedBuf == nil {
+		e.admittedBuf = make(map[int]bool, len(cands))
+	} else {
+		clear(e.admittedBuf)
+	}
+	admitted := e.admittedBuf
 	memUsed := 0.0
 	for _, ji := range cands {
 		if len(admit) >= capacity {
@@ -576,7 +706,9 @@ func (e *Engine) admitWave(n int, startNs float64) []int {
 		admit = append(admit, ji)
 		admitted[ji] = true
 	}
-	var rest []int
+	// Compact the queue in place: the write index never passes the read
+	// index, so filtering into queue[:0] is safe and allocation-free.
+	rest := ns.queue[:0]
 	for _, ji := range ns.queue {
 		if !admitted[ji] {
 			rest = append(rest, ji)
@@ -590,6 +722,7 @@ func (e *Engine) admitWave(n int, startNs float64) []int {
 			ns.minReadyNs = e.readyNs[ji]
 		}
 	}
+	e.si.queueDelta(n, len(rest)-prevQueued, ns.queuedWorkNs-prevWorkNs)
 	return admit
 }
 
@@ -627,15 +760,21 @@ func (e *Engine) launchWave(n int, startNs float64) error {
 }
 
 // runRound prices one lockstep round — one training step of every active
-// job — through the node's runtime and schedules the round-end event.
+// job — through the node's runtime and schedules the round-end event. The
+// WaveJob slice is engine-owned scratch: runtimes read it only for the
+// duration of RunWave.
 func (e *Engine) runRound(n int, startNs float64) error {
 	ns := e.nodes[n]
 	w := ns.wave
-	jobs := make([]WaveJob, len(w.active))
-	for k, ji := range w.active {
+	jobs := e.waveJobBuf[:0]
+	for _, ji := range w.active {
 		sp := e.specs[ji]
-		jobs[k] = WaveJob{Name: sp.Name, Model: sp.Model, Priority: sp.Priority, Weight: sp.Weight}
+		jobs = append(jobs, WaveJob{
+			Name: sp.Name, Model: sp.Model, Priority: sp.Priority, Weight: sp.Weight,
+			StepsLeft: e.steps[ji] - e.done[ji],
+		})
 	}
+	e.waveJobBuf = jobs
 	res, err := ns.rt.RunWave(jobs)
 	if err != nil {
 		return fmt.Errorf("place: wave %d on node %d: %w", w.ord, n, err)
@@ -657,14 +796,11 @@ func (e *Engine) runRound(n int, startNs float64) error {
 // remaining rounds and walking suffix maxima keeps the cost
 // O(jobs log jobs + total rounds) instead of quadratic in the step count.
 func (e *Engine) drainTailNs(w *waveState) float64 {
-	type tail struct {
-		rem  int
-		span float64
-	}
-	tails := make([]tail, len(w.active))
+	tails := e.tailBuf[:0]
 	for k, ji := range w.active {
-		tails[k] = tail{rem: e.steps[ji] - e.done[ji] - 1, span: w.res.Jobs[k].MakespanNs}
+		tails = append(tails, drainTail{rem: e.steps[ji] - e.done[ji] - 1, span: w.res.Jobs[k].MakespanNs})
 	}
+	e.tailBuf = tails
 	sort.Slice(tails, func(a, b int) bool { return tails[a].rem > tails[b].rem })
 	// Walk rounds from the farthest back: the active set only grows as r
 	// decreases, so a running maximum over the sorted prefix prices each
@@ -790,6 +926,7 @@ func (e *Engine) checkpointWave(from int, remain []int, t float64) {
 		e.checkpointNs[ji] = t
 		tn.queue = append(tn.queue, ji)
 		tn.queuedWorkNs += targets[tgt].WorkNs
+		e.si.queueDelta(tgt, 1, targets[tgt].WorkNs)
 		if e.readyNs[ji] < tn.minReadyNs {
 			tn.minReadyNs = e.readyNs[ji]
 		}
@@ -798,9 +935,9 @@ func (e *Engine) checkpointWave(from int, remain []int, t float64) {
 }
 
 // buildRuntimes resolves every node descriptor to its NodeRuntime, sharing
-// one runtime (and its per-model work cache) across nodes with the same
-// hardware descriptor.
-func buildRuntimes(descs []Node, arb multijob.Arbiter, cfg core.Config, graphFor func(string) *graph.Graph) []NodeRuntime {
+// one runtime — its per-model work cache and its gang-signature wave memo —
+// across nodes with the same hardware descriptor.
+func buildRuntimes(descs []Node, arb multijob.Arbiter, cfg core.Config, graphFor func(string) *graph.Graph, noMemo bool) []NodeRuntime {
 	cpus := make(map[*hw.Machine]*cpuRuntime)
 	gpus := make(map[*gpu.Device]*gpuRuntime)
 	rts := make([]NodeRuntime, len(descs))
@@ -809,6 +946,9 @@ func buildRuntimes(descs []Node, arb multijob.Arbiter, cfg core.Config, graphFor
 			rt, ok := gpus[d.GPU]
 			if !ok {
 				rt = &gpuRuntime{d: d.GPU, graphFor: graphFor, work: make(map[string]gpu.GraphWork)}
+				if !noMemo {
+					rt.memo = &waveMemo{}
+				}
 				gpus[d.GPU] = rt
 			}
 			rts[i] = rt
@@ -817,6 +957,9 @@ func buildRuntimes(descs []Node, arb multijob.Arbiter, cfg core.Config, graphFor
 		rt, ok := cpus[d.CPU]
 		if !ok {
 			rt = &cpuRuntime{m: d.CPU, arb: arb, cfg: cfg, graphFor: graphFor, work: make(map[string]float64)}
+			if !noMemo {
+				rt.memo = &waveMemo{}
+			}
 			cpus[d.CPU] = rt
 		}
 		rts[i] = rt

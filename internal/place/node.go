@@ -63,6 +63,11 @@ type WaveJob struct {
 	// device equally and ignore both.
 	Priority int
 	Weight   float64
+	// StepsLeft is the job's remaining step count when the round is
+	// priced. The wave simulators price one lockstep round and do not
+	// read it, but it feeds the gang signature's steps bucket so a
+	// step-count-aware runtime could be memoized without changing keys.
+	StepsLeft int
 }
 
 // WaveJobResult is one job's outcome inside a wave.
@@ -126,6 +131,7 @@ type cpuRuntime struct {
 	cfg      core.Config
 	graphFor func(string) *graph.Graph
 	work     map[string]float64
+	memo     *waveMemo // gang-signature RunWave cache; nil when disabled
 }
 
 // cpuMeshAlpha mirrors the exec engine's pinned mesh-interference
@@ -149,7 +155,22 @@ func (c *cpuRuntime) SoloWorkNs(model string) float64 {
 	return w
 }
 
+// WaveMemoStats reports the runtime's gang-signature cache counters.
+func (c *cpuRuntime) WaveMemoStats() (hits, misses int) {
+	if c.memo == nil {
+		return 0, 0
+	}
+	return c.memo.stats()
+}
+
 func (c *cpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
+	var sig, fp string
+	if c.memo != nil {
+		sig, fp = gangKeys(KindCPU, jobs)
+		if res, ok := c.memo.lookup(sig, fp); ok {
+			return res, nil
+		}
+	}
 	mj := make([]multijob.Job, len(jobs))
 	for i, wj := range jobs {
 		job, err := multijob.RuntimeJob(wj.Name, c.graphFor(wj.Model), c.m, c.cfg)
@@ -168,6 +189,9 @@ func (c *cpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
 	for i, jr := range res.Jobs {
 		out.Jobs[i] = WaveJobResult{SoloNs: jr.SoloNs, MakespanNs: jr.MakespanNs, Slowdown: jr.Slowdown}
 	}
+	if c.memo != nil {
+		c.memo.store(sig, fp, out)
+	}
 	return out, nil
 }
 
@@ -179,6 +203,7 @@ type gpuRuntime struct {
 	d        *gpu.Device
 	graphFor func(string) *graph.Graph
 	work     map[string]gpu.GraphWork
+	memo     *waveMemo // gang-signature RunWave cache; nil when disabled
 }
 
 func (g *gpuRuntime) Kind() string              { return KindGPU }
@@ -202,7 +227,22 @@ func (g *gpuRuntime) graphWork(model string) gpu.GraphWork {
 
 func (g *gpuRuntime) SoloWorkNs(model string) float64 { return g.graphWork(model).SoloNs }
 
+// WaveMemoStats reports the runtime's gang-signature cache counters.
+func (g *gpuRuntime) WaveMemoStats() (hits, misses int) {
+	if g.memo == nil {
+		return 0, 0
+	}
+	return g.memo.stats()
+}
+
 func (g *gpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
+	var sig, fp string
+	if g.memo != nil {
+		sig, fp = gangKeys(KindGPU, jobs)
+		if res, ok := g.memo.lookup(sig, fp); ok {
+			return res, nil
+		}
+	}
 	works := make([]gpu.GraphWork, len(jobs))
 	for i, wj := range jobs {
 		works[i] = g.graphWork(wj.Model)
@@ -214,6 +254,9 @@ func (g *gpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
 	out := &WaveResult{TotalNs: total, Jobs: make([]WaveJobResult, len(jobs))}
 	for i, o := range outs {
 		out.Jobs[i] = WaveJobResult{SoloNs: works[i].SoloNs, MakespanNs: o.MakespanNs, Slowdown: o.Slowdown}
+	}
+	if g.memo != nil {
+		g.memo.store(sig, fp, out)
 	}
 	return out, nil
 }

@@ -274,6 +274,17 @@ type Options struct {
 	// "all" arms every built-in trigger; otherwise a "+"-separated list
 	// of trigger names, e.g. "priority+deadline".
 	Preempt string
+	// Shards is the event loop's shard count: the fleet is split into
+	// that many contiguous node groups, each with its own event heap and
+	// incremental aggregates, merged deterministically on (time, node
+	// index) — results are byte-identical at every shard count. 0 picks
+	// automatically from the fleet size; negative is rejected.
+	Shards int
+	// NoWaveMemo disables the fleet-wide gang-signature RunWave cache.
+	// Memoized and unmemoized runs are byte-identical — the cache only
+	// skips re-simulating a wave composition already priced — so this
+	// exists for benchmarks and equivalence tests, not correctness.
+	NoWaveMemo bool
 }
 
 func (o Options) policy() string {

@@ -1,0 +1,153 @@
+package place
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Sharded event loop.
+//
+// The engine's pending node events — wave launches and lockstep round
+// completions — used to live in one fleet-wide min-heap. A sharded index
+// partitions the fleet into contiguous node groups, each with its own
+// wave-start min-heap and its own incrementally maintained queue
+// aggregates, and advances the loop by a deterministic k-way merge over the
+// shard heads on (time, node index) — exactly the single heap's total
+// order, so sharding can never change a result; the determinism gates
+// enforce it. It is the deterministic-parallel pattern the sweep pool
+// proves (independent work, index-ordered recombination) applied inside one
+// engine: per-shard heaps stay short (O(log(nodes/S)) push/pop), the merge
+// is O(S), and the disjoint shard ranges are what the parallel node-view
+// snapshot fans out over on large fleets.
+
+// autoShardTarget is the node-group size one shard owns under automatic
+// sharding; maxShards caps the merge width.
+const (
+	autoShardTarget = 256
+	maxShards       = 16
+)
+
+// autoShards picks the shard count for a fleet: one shard per
+// autoShardTarget nodes, at least 1, at most maxShards.
+func autoShards(nodes int) int {
+	s := nodes / autoShardTarget
+	if s < 1 {
+		return 1
+	}
+	if s > maxShards {
+		return maxShards
+	}
+	return s
+}
+
+// ShardStat is one shard's slice of the event loop: the contiguous node
+// range it owns, the events it has retired, and its incrementally
+// maintained aggregates over the staged (queued, not yet wave-resident)
+// jobs of its nodes.
+type ShardStat struct {
+	// Shard is the shard index; First/Nodes the contiguous node range
+	// [First, First+Nodes) it owns.
+	Shard int
+	First int
+	Nodes int
+	// Events counts the node events (wave launches and round completions)
+	// retired through this shard's heap.
+	Events int64
+	// QueuedJobs / QueuedWorkNs aggregate the shard's staged jobs and
+	// their predicted solo work on their nodes' hardware — maintained
+	// incrementally at every stage/admit/checkpoint, never by rescanning.
+	QueuedJobs   int
+	QueuedWorkNs float64
+}
+
+// shardedIndex is the engine's event index: per-shard min-heaps over
+// candidate node events plus per-shard queue aggregates.
+type shardedIndex struct {
+	shards []waveHeap
+	stats  []ShardStat
+	nodes  int
+}
+
+// newShardedIndex builds the index: `shards` contiguous groups over
+// `nodes` nodes (clamped to [1, nodes]).
+func newShardedIndex(nodes, shards int) *shardedIndex {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nodes {
+		shards = nodes
+	}
+	si := &shardedIndex{
+		shards: make([]waveHeap, shards),
+		stats:  make([]ShardStat, shards),
+		nodes:  nodes,
+	}
+	for s := range si.stats {
+		si.stats[s].Shard = s
+		si.stats[s].First = si.firstNode(s)
+		si.stats[s].Nodes = si.firstNode(s+1) - si.firstNode(s)
+	}
+	return si
+}
+
+// shardOf maps a node index onto its owning shard: contiguous groups, the
+// same arithmetic firstNode inverts.
+func (si *shardedIndex) shardOf(node int) int {
+	return node * len(si.shards) / si.nodes
+}
+
+// firstNode is the first node index shard s owns (len(nodes) for s ==
+// shard count, so [firstNode(s), firstNode(s+1)) is shard s's range).
+func (si *shardedIndex) firstNode(s int) int {
+	n := s * si.nodes / len(si.shards)
+	// Round up to the first node that actually maps to shard s.
+	for n < si.nodes && si.shardOf(n) < s {
+		n++
+	}
+	return n
+}
+
+// push indexes one candidate node event into its shard's heap.
+func (si *shardedIndex) push(e waveEntry) {
+	heap.Push(&si.shards[si.shardOf(e.node)], e)
+}
+
+// peek returns the earliest valid event across every shard — the
+// deterministic k-way merge on (time, node index) — popping stale heads
+// (whose version no longer matches their node's) along the way. It returns
+// (-1, +Inf) when every shard is drained. With best initialized to -1, a
+// same-time head only displaces the incumbent when its node index is
+// lower, so the merged order is exactly the single fleet-wide heap's.
+func (si *shardedIndex) peek(nodes []*nodeState) (node int, t float64) {
+	best, bestT := -1, math.Inf(1)
+	for s := range si.shards {
+		h := &si.shards[s]
+		for h.Len() > 0 && nodes[(*h)[0].node].version != (*h)[0].version {
+			heap.Pop(h)
+		}
+		if h.Len() == 0 {
+			continue
+		}
+		head := (*h)[0]
+		if head.startNs < bestT || (head.startNs == bestT && head.node < best) {
+			best, bestT = head.node, head.startNs
+		}
+	}
+	return best, bestT
+}
+
+// pop consumes node's current head event (the entry peek just returned)
+// and counts it against the shard.
+func (si *shardedIndex) pop(node int) {
+	s := si.shardOf(node)
+	heap.Pop(&si.shards[s])
+	si.stats[s].Events++
+}
+
+// queueDelta folds one node's staged-queue change into its shard's
+// incremental aggregates.
+func (si *shardedIndex) queueDelta(node, dJobs int, dWorkNs float64) {
+	s := si.shardOf(node)
+	si.stats[s].QueuedJobs += dJobs
+	si.stats[s].QueuedWorkNs += dWorkNs
+}

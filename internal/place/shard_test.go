@@ -1,0 +1,317 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"opsched/internal/nn"
+)
+
+// TestAutoShards pins the automatic shard sizing: one shard per
+// autoShardTarget nodes, clamped to [1, maxShards].
+func TestAutoShards(t *testing.T) {
+	cases := []struct{ nodes, want int }{
+		{1, 1}, {255, 1}, {256, 1}, {511, 1},
+		{512, 2}, {1024, 4}, {4096, 16}, {10000, 16}, {100000, 16},
+	}
+	for _, tc := range cases {
+		if got := autoShards(tc.nodes); got != tc.want {
+			t.Errorf("autoShards(%d) = %d, want %d", tc.nodes, got, tc.want)
+		}
+	}
+}
+
+// TestShardedIndexPartition: for assorted fleet and shard counts, the
+// shards' node ranges exactly partition [0, nodes) and shardOf inverts
+// firstNode.
+func TestShardedIndexPartition(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 7, 16, 100, 1000} {
+		for _, shards := range []int{1, 2, 3, 5, 16, 40} {
+			si := newShardedIndex(nodes, shards)
+			covered := 0
+			for s, st := range si.stats {
+				if st.Shard != s {
+					t.Fatalf("nodes=%d shards=%d: stat %d labels itself %d", nodes, shards, s, st.Shard)
+				}
+				if st.First != covered {
+					t.Fatalf("nodes=%d shards=%d: shard %d starts at %d, want %d", nodes, shards, s, st.First, covered)
+				}
+				covered += st.Nodes
+				for n := st.First; n < st.First+st.Nodes; n++ {
+					if si.shardOf(n) != s {
+						t.Fatalf("nodes=%d shards=%d: shardOf(%d) = %d, want %d", nodes, shards, n, si.shardOf(n), s)
+					}
+				}
+			}
+			if covered != nodes {
+				t.Fatalf("nodes=%d shards=%d: ranges cover %d nodes", nodes, shards, covered)
+			}
+		}
+	}
+}
+
+// shardGoldenConfigs are the byte-equivalence fixtures: every preempt
+// golden scenario — a firing priority preemption, a firing load-trigger
+// migration, and a multi-step mixed-fleet synthetic under "all" — plus a
+// plain GPU-fleet stream big enough to wave-pack.
+func shardGoldenConfigs() []struct {
+	name string
+	w    Workload
+	c    Cluster
+	opts Options
+} {
+	migr := Workload{
+		{Name: "a", Model: "lstm", ArrivalNs: 0, Steps: 4},
+		{Name: "b", Model: "lstm", ArrivalNs: 0, Steps: 4},
+		{Name: "late", Model: "lstm", ArrivalNs: 40e6, Steps: 1},
+	}
+	preW, preC := preemptScenario()
+	synth, err := SyntheticSteps(10, 11, []string{nn.LSTM, nn.DCGAN}, 1e6, 3)
+	if err != nil {
+		panic(err)
+	}
+	return []struct {
+		name string
+		w    Workload
+		c    Cluster
+		opts Options
+	}{
+		{"priority-preemption", preW, preC,
+			Options{Policy: "model-aware", Arbiter: "priority", Preempt: "priority"}},
+		{"load-migration", migr, Cluster{Nodes: 2},
+			Options{Policy: "binpack", Preempt: "load"}},
+		{"all-triggers-mixed", synth, Cluster{Nodes: 1, GPUs: 1},
+			Options{Policy: "model-aware", Preempt: "all"}},
+		{"gpu-stream", MustSynthetic(24, 7, []string{nn.LSTM, nn.DCGAN}, 1e5),
+			Cluster{GPUs: 6}, Options{Policy: "model-aware"}},
+	}
+}
+
+// TestShardedEngineByteEquivalence is the tentpole's safety gate: every
+// golden config renders byte-identically at shard counts 1, 2, 3 and auto —
+// the k-way merge preserves the single heap's total event order exactly,
+// preemption and migration included.
+func TestShardedEngineByteEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each golden config at four shard counts")
+	}
+	for _, tc := range shardGoldenConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts
+			opts.Shards = 1
+			base, err := PlaceJobs(tc.w, tc.c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := base.Render()
+			for _, shards := range []int{2, 3, 0} {
+				opts.Shards = shards
+				got, err := PlaceJobs(tc.w, tc.c, opts)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if got.Render() != ref {
+					t.Errorf("shards=%d renders differently from shards=1:\n%s\nvs\n%s",
+						shards, got.Render(), ref)
+				}
+			}
+		})
+	}
+	if _, err := PlaceJobs(Workload{{Model: "lstm"}}, Cluster{Nodes: 1}, Options{Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
+
+// TestWaveMemoEngineByteEquivalence: disabling the gang-signature memo
+// changes nothing but speed — every golden config renders byte-identically
+// with NoWaveMemo set.
+func TestWaveMemoEngineByteEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each golden config twice")
+	}
+	for _, tc := range shardGoldenConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			on, err := PlaceJobs(tc.w, tc.c, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := tc.opts
+			opts.NoWaveMemo = true
+			off, err := PlaceJobs(tc.w, tc.c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if on.Render() != off.Render() {
+				t.Errorf("memoized render differs from memo-free:\n%s\nvs\n%s", on.Render(), off.Render())
+			}
+		})
+	}
+}
+
+// driveBatch pumps a canonical workload through an engine the way the
+// batch wrapper does, returning the engine for inspection.
+func driveBatch(t *testing.T, w Workload, c Cluster, opts Options) *Engine {
+	t.Helper()
+	specs, err := w.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for e.Completed() < len(specs) {
+		eventNs, hasEvent := e.NextEventNs()
+		if next < len(specs) {
+			sp := specs[next]
+			if !hasEvent || sp.ArrivalNs <= eventNs {
+				next++
+				ji, err := e.Admit(sp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := e.PlaceAuto(ji, sp.ArrivalNs); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+		}
+		if !hasEvent {
+			t.Fatalf("stalled with %d of %d done", e.Completed(), len(specs))
+		}
+		if _, err := e.ProcessNextEvent(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// TestShardStatsAndMemoCounters drives a wave-packing stream and checks the
+// introspection surfaces: shard stats partition the fleet, every retired
+// event is counted on exactly one shard, the queue aggregates drain to zero
+// at completion, and the memo counters show real hits on a recurring
+// stream (and stay zero when disabled).
+func TestShardStatsAndMemoCounters(t *testing.T) {
+	// A uniform replay-shaped stream — alternating models, equal priority
+	// and weight — so wave compositions genuinely recur fleet-wide.
+	w := make(Workload, 30)
+	for i := range w {
+		w[i] = JobSpec{Model: []string{"lstm", "dcgan"}[i%2], ArrivalNs: float64(i) * 1e5, Steps: 1}
+	}
+	c := Cluster{GPUs: 6}
+	e := driveBatch(t, w, c, Options{Policy: "model-aware", Shards: 3})
+	if e.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", e.Shards())
+	}
+	stats := e.ShardStats()
+	if len(stats) != 3 {
+		t.Fatalf("got %d shard stats, want 3", len(stats))
+	}
+	covered, events := 0, int64(0)
+	for _, st := range stats {
+		covered += st.Nodes
+		events += st.Events
+		// The work aggregate is incremental float adds and subtracts, so a
+		// sub-nanosecond rounding residue may survive the drain.
+		if st.QueuedJobs != 0 || math.Abs(st.QueuedWorkNs) > 1e-3 {
+			t.Errorf("shard %d still aggregates %d jobs / %v ns after the run drained",
+				st.Shard, st.QueuedJobs, st.QueuedWorkNs)
+		}
+	}
+	if covered != 6 {
+		t.Errorf("shard ranges cover %d nodes, want 6", covered)
+	}
+	if events == 0 {
+		t.Error("no events retired through any shard")
+	}
+	hits, misses := e.WaveMemoStats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("memo counters hits=%d misses=%d on a recurring stream, want both positive", hits, misses)
+	}
+
+	off := driveBatch(t, w, c, Options{Policy: "model-aware", Shards: 3, NoWaveMemo: true})
+	if h, m := off.WaveMemoStats(); h != 0 || m != 0 {
+		t.Errorf("NoWaveMemo engine reports hits=%d misses=%d, want zeros", h, m)
+	}
+}
+
+// TestShardQueueAggregatesMidRun: with jobs staged but no event retired,
+// the shards' incremental queue aggregates equal a direct rescan of their
+// node ranges.
+func TestShardQueueAggregatesMidRun(t *testing.T) {
+	e, err := NewEngine(Cluster{GPUs: 6}, Options{Policy: "spread", Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sp := range MustSynthetic(12, 5, []string{nn.LSTM, nn.DCGAN}, 0) {
+		ji, err := e.Admit(sp)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if err := e.PlaceAuto(ji, sp.ArrivalNs); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	for _, st := range e.ShardStats() {
+		jobs, workNs := 0, 0.0
+		for n := st.First; n < st.First+st.Nodes; n++ {
+			jobs += len(e.nodes[n].queue)
+			workNs += e.nodes[n].queuedWorkNs
+		}
+		if st.QueuedJobs != jobs || math.Abs(st.QueuedWorkNs-workNs) > 1e-6 {
+			t.Errorf("shard %d aggregates (%d jobs, %v ns), rescan says (%d, %v)",
+				st.Shard, st.QueuedJobs, st.QueuedWorkNs, jobs, workNs)
+		}
+	}
+}
+
+// TestParallelViewsMatchSerial forces the parallel snapshot path on a small
+// fleet and checks it fills byte-identical views to the serial path —
+// disjoint shard ranges make the fan-out deterministic by construction.
+func TestParallelViewsMatchSerial(t *testing.T) {
+	old := parallelViewsMin
+	parallelViewsMin = 1
+	defer func() { parallelViewsMin = old }()
+
+	mk := func(shards int) *Engine {
+		e, err := NewEngine(Cluster{GPUs: 8}, Options{Policy: "spread", Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sp := range MustSynthetic(10, 3, []string{nn.LSTM, nn.DCGAN}, 0) {
+			ji, err := e.Admit(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.PlaceAuto(ji, sp.ArrivalNs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	par, ser := mk(4), mk(1)
+	ji, err := par.Admit(JobSpec{Model: "lstm", ArrivalNs: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ser.Admit(JobSpec{Model: "lstm", ArrivalNs: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	got := par.Views(ji, 1e9)
+	want := ser.Views(ji, 1e9)
+	if len(got) != len(want) {
+		t.Fatalf("view lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("node %d view differs parallel vs serial: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("ViewsInto accepted a wrong-length slice")
+		}
+	}()
+	par.ViewsInto(ji, 1e9, make([]NodeView, 3))
+}

@@ -1,45 +1,9 @@
 #!/usr/bin/env sh
-# Regenerate BENCH_6.json: the streaming-pipeline benchmark artifact of
-# PR 6 — batch engine vs. pipeline wrapper on one closed workload, plus
-# sustained replay throughput at 10k and 100k streamed jobs (the 100k run
-# takes ~10 minutes; it is the scale gate, streaming jobs through the
-# pipeline without ever materializing the slice).
+# Back-compat shim: BENCH_6.json generation now goes through the
+# generalized scripts/bench.sh (benchmark list scripts/benchlists/bench6.list).
 #
 # Usage: scripts/bench6.sh [output.json]   (default BENCH_6.json)
-# BENCH6_SHORT=1 skips the 100k run (CI's quick artifact regeneration).
+# BENCH6_SHORT=1 maps to BENCH_SHORT=1 (skip the 100k replay run).
 set -eu
-cd "$(dirname "$0")/.."
-out="${1:-BENCH_6.json}"
-short=""
-[ "${BENCH6_SHORT:-}" = "1" ] && short="-short"
-
-go test $short -run '^$' -bench 'BenchmarkBatchEngine$|BenchmarkPipelineBatch$|BenchmarkPipelineReplay' \
-	-benchtime 1x -timeout 3600s ./internal/pipeline/ |
-	awk -v q='"' '
-	/^goos:/   { goos = $2 }
-	/^goarch:/ { goarch = $2 }
-	/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
-	/^Benchmark/ {
-		name = $1; sub(/-[0-9]+$/, "", name)
-		ns = $3
-		jobs = ""
-		for (i = 4; i < NF; i++) if ($(i + 1) == "jobs/s") jobs = $i
-		line = "    {" q "name" q ": " q name q ", " q "ns_per_op" q ": " ns
-		if (jobs != "") line = line ", " q "jobs_per_s" q ": " jobs
-		line = line "}"
-		bench[n++] = line
-	}
-	END {
-		if (n == 0) { print "bench6: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
-		print "{"
-		print "  " q "bench" q ": " q "pipeline streaming vs batch (PR 6)" q ","
-		print "  " q "goos" q ": " q goos q ", " q "goarch" q ": " q goarch q ","
-		print "  " q "cpu" q ": " q cpu q ","
-		print "  " q "benchmarks" q ": ["
-		for (i = 0; i < n; i++) print bench[i] (i < n - 1 ? "," : "")
-		print "  ]"
-		print "}"
-	}' >"$out"
-
-echo "wrote $out:" >&2
-cat "$out" >&2
+[ "${BENCH6_SHORT:-}" = "1" ] && BENCH_SHORT=1 && export BENCH_SHORT
+exec "$(dirname "$0")/bench.sh" 6 "${1:-BENCH_6.json}"

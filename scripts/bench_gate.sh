@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Benchmark regression gate: compares ns/op between a base and a head
+# BENCH_*.json (both in scripts/bench.sh's schema) against the committed
+# tolerance file, and fails on any gated benchmark that regressed past its
+# allowance.
+#
+# Usage: scripts/bench_gate.sh <base.json> <head.json> [tolerance-file]
+#        (tolerance file defaults to .github/bench-tolerance.txt)
+#
+# Tolerance file format, one rule per line ("#" comments allowed):
+#   default <pct>            # allowance for every benchmark without a rule
+#   <name-prefix> <pct>      # allowance for benchmarks matching the prefix
+#                            # (first matching rule wins)
+#
+# Benchmarks present only in head are reported as new and skipped — a PR
+# that introduces a benchmark cannot regress against a base that lacks it.
+set -eu
+base="${1:?usage: scripts/bench_gate.sh <base.json> <head.json> [tolerance-file]}"
+head="${2:?usage: scripts/bench_gate.sh <base.json> <head.json> [tolerance-file]}"
+tol="${3:-.github/bench-tolerance.txt}"
+command -v jq >/dev/null || { echo "bench_gate: jq required" >&2; exit 1; }
+[ -f "$tol" ] || { echo "bench_gate: no tolerance file $tol" >&2; exit 1; }
+
+default=$(awk '!/^#/ && $1 == "default" { print $2; exit }' "$tol")
+[ -n "$default" ] || default=15
+
+tmp=$(mktemp)
+jq -r '.benchmarks[] | "\(.name) \(.ns_per_op)"' "$head" >"$tmp"
+
+fail=0
+while read -r name headns; do
+	basens=$(jq -r --arg n "$name" \
+		'[.benchmarks[] | select(.name == $n) | .ns_per_op] | first // empty' "$base")
+	if [ -z "$basens" ]; then
+		echo "SKIP  $name: new benchmark, no base measurement"
+		continue
+	fi
+	allow=$(awk -v name="$name" -v def="$default" '
+		!/^#/ && NF >= 2 && $1 != "default" && index(name, $1) == 1 { print $2; found = 1; exit }
+		END { if (!found) print def }' "$tol")
+	verdict=$(awk -v b="$basens" -v h="$headns" -v t="$allow" 'BEGIN {
+		pct = (h - b) / b * 100
+		printf "%+.1f%% (base %.0f ns/op, head %.0f ns/op, allowance %s%%) %s",
+			pct, b, h, t, (pct > t + 0 ? "FAIL" : "ok")
+	}')
+	case "$verdict" in
+	*FAIL)
+		echo "FAIL  $name: $verdict"
+		fail=1
+		;;
+	*)
+		echo "ok    $name: $verdict"
+		;;
+	esac
+done <"$tmp"
+rm -f "$tmp"
+
+if [ "$fail" = 1 ]; then
+	echo "bench_gate: benchmark regression past tolerance" >&2
+	exit 1
+fi
+echo "bench_gate: all gated benchmarks within tolerance"
