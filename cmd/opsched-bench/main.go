@@ -26,6 +26,15 @@
 //	                              # checkpoint/restart preemption
 //	opsched-bench -cluster 12 -steps 4 -preempt on -trigger priority+deadline
 //	                              # arm a specific trigger subset
+//	opsched-bench -cluster 8 -nodes 2 -gpus 2 -steps 6 -inference 64 -slo 40 \
+//	              -preempt off,slo-at-risk
+//	                              # mixed tenancy: a bursty inference stream
+//	                              # (64 requests, 40 ms SLO) rides the
+//	                              # training workload; compare SLO attainment
+//	                              # with and without serving-aware preemption
+//	opsched-bench -cluster 8 -gpus 2 -inference 64 -share mps
+//	                              # GPU nodes share via MPS-style spatial
+//	                              # partitioning instead of CUDA streams
 //
 // Reports print to stdout in request order and are byte-identical whatever
 // -parallel is; per-experiment wall-clock timings go to stderr (or into the
@@ -103,32 +112,45 @@ type jsonPlacedJob struct {
 	Preemptions  int     `json:"preemptions"`
 	Path         string  `json:"path,omitempty"`
 	DisruptionMs float64 `json:"disruption_ms"`
+	// Serving-class fields; omitted for training jobs.
+	Class   string `json:"class,omitempty"`
+	Batched int    `json:"batched,omitempty"`
+	SloMet  bool   `json:"slo_met,omitempty"`
 }
 
 type jsonClusterCell struct {
-	Workload       string          `json:"workload"`
-	Policy         string          `json:"policy"`
-	Nodes          int             `json:"nodes"`
-	Gpus           int             `json:"gpus"`
-	Preempt        string          `json:"preempt"`
-	Engine         string          `json:"engine"`
-	Fleet          string          `json:"fleet"`
-	Report         string          `json:"report"`
-	MakespanMs     float64         `json:"makespan_ms"`
-	MeanJctMs      float64         `json:"mean_jct_ms"`
-	MeanQueueMs    float64         `json:"mean_queue_ms"`
-	P50QueueMs     float64         `json:"p50_queue_ms"`
-	P95QueueMs     float64         `json:"p95_queue_ms"`
-	P99QueueMs     float64         `json:"p99_queue_ms"`
-	Fairness       float64         `json:"fairness"`
-	DeadlinesMet   int             `json:"deadlines_met"`
-	DeadlinesTotal int             `json:"deadlines_total"`
-	Preemptions    int             `json:"preemptions"`
-	Migrations     int             `json:"migrations"`
-	TriggerFirings int             `json:"trigger_firings"`
-	DisruptionMs   float64         `json:"disruption_ms"`
-	Jobs           []jsonPlacedJob `json:"jobs"`
-	ElapsedMs      float64         `json:"elapsed_ms"`
+	Workload       string  `json:"workload"`
+	Policy         string  `json:"policy"`
+	Nodes          int     `json:"nodes"`
+	Gpus           int     `json:"gpus"`
+	Preempt        string  `json:"preempt"`
+	Engine         string  `json:"engine"`
+	Fleet          string  `json:"fleet"`
+	Report         string  `json:"report"`
+	MakespanMs     float64 `json:"makespan_ms"`
+	MeanJctMs      float64 `json:"mean_jct_ms"`
+	MeanQueueMs    float64 `json:"mean_queue_ms"`
+	P50QueueMs     float64 `json:"p50_queue_ms"`
+	P95QueueMs     float64 `json:"p95_queue_ms"`
+	P99QueueMs     float64 `json:"p99_queue_ms"`
+	Fairness       float64 `json:"fairness"`
+	DeadlinesMet   int     `json:"deadlines_met"`
+	DeadlinesTotal int     `json:"deadlines_total"`
+	Preemptions    int     `json:"preemptions"`
+	Migrations     int     `json:"migrations"`
+	TriggerFirings int     `json:"trigger_firings"`
+	DisruptionMs   float64 `json:"disruption_ms"`
+	// Per-class serving metrics; all omitted in a training-only cell.
+	InferenceJobs int     `json:"inference_jobs,omitempty"`
+	SloMet        int     `json:"slo_met,omitempty"`
+	SloTotal      int     `json:"slo_total,omitempty"`
+	SloAttainment float64 `json:"slo_attainment,omitempty"`
+	GoodputPerSec float64 `json:"goodput_per_sec,omitempty"`
+	InferP50JctMs float64 `json:"infer_p50_jct_ms,omitempty"`
+	InferP99JctMs float64 `json:"infer_p99_jct_ms,omitempty"`
+
+	Jobs      []jsonPlacedJob `json:"jobs"`
+	ElapsedMs float64         `json:"elapsed_ms"`
 }
 
 // jsonClusterOutput carries no global machine field: fleets vary per cell
@@ -157,7 +179,11 @@ func main() {
 	gapMs := flag.Float64("gap", 2, "mean inter-arrival gap of the -cluster synthetic workload, in ms")
 	steps := flag.Int("steps", 1, "max training steps per -cluster synthetic job (steps cycle 1..N deterministically; 1 = single-step jobs)")
 	preemptSpec := flag.String("preempt", "off", `preemption axis for -cluster, comma-separated: "off" (run-to-completion), "on" (the -trigger set), or explicit trigger specs like priority+deadline`)
-	triggerSpec := flag.String("trigger", "all", `trigger set "-preempt on" arms: "all", "none", or a "+"-separated subset of priority, deadline, load`)
+	triggerSpec := flag.String("trigger", "all", `trigger set "-preempt on" arms: "all", "none", or a "+"-separated subset of priority, deadline, slo-at-risk, load`)
+	inferenceN := flag.Int("inference", 0, "merge a bursty open-loop inference stream of this many requests into the -cluster workload (0 = training only)")
+	infGapMs := flag.Float64("inf-gap", 0.1, "mean calm-phase inter-arrival gap of the -inference stream, in ms (burst phases run 10x hotter)")
+	sloMs := flag.Float64("slo", 0, "per-request latency SLO of the -inference stream, in ms (0 = 50 calm gaps)")
+	shareMode := flag.String("share", "", `GPU sharing mode for -cluster fleets: "streams" (default) or "mps"`)
 	engineSpec := flag.String("engine", "batch", `execution engines for -cluster, comma-separated: "batch" (closed-workload engine), "pipeline" (streaming admission→placement→execution→metrics pipeline); both render byte-identically`)
 	flag.Parse()
 
@@ -174,8 +200,10 @@ func main() {
 		os.Exit(1)
 	}
 	if *clusterN > 0 {
+		inf := inferenceSpec{n: *inferenceN, gapMs: *infGapMs, sloMs: *sloMs}
 		runCluster(ctx, *clusterN, *policy, *nodesSpec, *gpusSpec, *models, *arbiter,
-			*seed, *gapMs, *steps, *preemptSpec, *triggerSpec, *engineSpec, *parallel, *jsonOut)
+			*seed, *gapMs, *steps, *preemptSpec, *triggerSpec, *engineSpec, inf, *shareMode,
+			*parallel, *jsonOut)
 		return
 	}
 
@@ -301,12 +329,22 @@ func runJobs(ctx context.Context, jobsSpec, arbiterSpec string, parallel int, js
 	os.Exit(1)
 }
 
+// inferenceSpec carries the -inference/-inf-gap/-slo flag triple into
+// runCluster.
+type inferenceSpec struct {
+	n     int
+	gapMs float64
+	sloMs float64
+}
+
 // runCluster is the -cluster mode: a synthetic workload placed under every
 // requested policy at every requested node mix (CPU counts × GPU counts)
-// and preemption configuration, through the sweep pool. Same determinism
-// contract as the other modes — stdout is byte-identical at any -parallel,
-// timings go to stderr or the JSON payload.
-func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, steps int, preemptSpec, triggerSpec, engineSpec string, parallel int, jsonOut bool) {
+// and preemption configuration, through the sweep pool. A non-zero
+// -inference count merges a bursty serving stream into the workload; the
+// mixed stream sweeps the same grid. Same determinism contract as the
+// other modes — stdout is byte-identical at any -parallel, timings go to
+// stderr or the JSON payload.
+func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, steps int, preemptSpec, triggerSpec, engineSpec string, inf inferenceSpec, shareMode string, parallel int, jsonOut bool) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
 		os.Exit(1)
@@ -324,6 +362,17 @@ func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, mod
 	workload, err := opsched.SyntheticStepsWorkload(n, seed, modelNames, gapMs*1e6, steps)
 	if err != nil {
 		fail(err)
+	}
+	wlName := fmt.Sprintf("synthetic%d", n)
+	if inf.n > 0 {
+		// The serving tenant draws from an independent seed stream so
+		// adding it never perturbs the training arrivals.
+		requests, err := opsched.SyntheticInferenceWorkload(inf.n, seed, modelNames, inf.gapMs*1e6, inf.sloMs*1e6)
+		if err != nil {
+			fail(err)
+		}
+		workload = workload.Merge(requests)
+		wlName = fmt.Sprintf("%s+inf%d", wlName, inf.n)
 	}
 
 	var preempts []string
@@ -386,13 +435,23 @@ func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, mod
 	}
 
 	grid := opsched.ClusterSweepGrid{
-		Workloads: []opsched.NamedWorkload{{Name: fmt.Sprintf("synthetic%d", n), Jobs: workload}},
+		Workloads: []opsched.NamedWorkload{{Name: wlName, Jobs: workload}},
 		Policies:  policies,
 		Sizes:     sizes,
 		GPUs:      gpus,
 		Preempts:  preempts,
 		Engines:   engines,
 		Arbiter:   arb,
+	}
+	if s := strings.TrimSpace(shareMode); s != "" && s != opsched.SharingStreams {
+		// A non-default sharing mode needs its own device descriptor; the
+		// grid's nil default stays the stock streams-mode P100.
+		dev := opsched.NewP100()
+		dev.Sharing = s
+		if err := dev.Validate(); err != nil {
+			fail(err)
+		}
+		grid.GPU = dev
 	}
 	start := time.Now()
 	cells, err := opsched.RunClusterSweep(ctx, grid, parallel)
@@ -432,15 +491,29 @@ func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, par
 				DisruptionMs:   c.Result.DisruptionNs / 1e6,
 				ElapsedMs:      float64(c.Elapsed.Microseconds()) / 1e3,
 			}
+			if c.Result.InferenceJobs > 0 {
+				jc.InferenceJobs = c.Result.InferenceJobs
+				jc.SloMet, jc.SloTotal = c.Result.SLOMet, c.Result.SLOTotal
+				jc.SloAttainment = c.Result.SLOAttainment
+				jc.GoodputPerSec = c.Result.GoodputPerSec
+				jc.InferP50JctMs = c.Result.InferP50JCTNs / 1e6
+				jc.InferP99JctMs = c.Result.InferP99JCTNs / 1e6
+			}
 			for _, j := range c.Result.Jobs {
-				jc.Jobs = append(jc.Jobs, jsonPlacedJob{
+				pj := jsonPlacedJob{
 					Name: j.Name, Model: j.Model, Node: j.Node, Hw: j.Kind, Wave: j.Wave,
 					Steps: j.Steps, StepsDone: j.StepsDone,
 					QueueMs: j.QueueNs / 1e6, CorunMs: j.CoRunNs / 1e6,
 					JctMs: j.JCTNs() / 1e6, Slowdown: j.Slowdown,
 					Preemptions: j.Preemptions, Path: j.Path,
 					DisruptionMs: j.DisruptionNs / 1e6,
-				})
+				}
+				if j.Class == opsched.ClassInference {
+					pj.Class = j.Class
+					pj.Batched = j.Batched
+					pj.SloMet = j.SLOMet
+				}
+				jc.Jobs = append(jc.Jobs, pj)
 			}
 			out.Cells = append(out.Cells, jc)
 		}

@@ -22,9 +22,17 @@
 //	POST /jobs      submit one job: {"model":"resnet-50","name":"j1",
 //	                "priority":2,"steps":3,"deadline_ms":500,"weight":1}
 //	                (model is required; arrival is the wall-clock instant
-//	                of the request)
+//	                of the request). Inference requests add
+//	                {"class":"inference","slo_ms":20}: one forward step of
+//	                the model's serving graph under a per-request latency
+//	                SLO. An invalid spec is rejected synchronously with
+//	                400 and never enters the pipeline; 503 means the
+//	                pipeline is draining and takes no more work.
 //	GET  /snapshot  live metrics as JSON: counts, means, p50/p95/p99
-//	                queue and JCT percentiles over completions so far
+//	                queue and JCT percentiles over completions so far,
+//	                plus per-class serving metrics (inference completions,
+//	                SLO attainment, p50/p99) once any inference request
+//	                has finished
 //	POST /drain     close the stream and drain gracefully
 //
 // Shutdown is an ordered drain, never an abort: when the trace ends (and
@@ -274,10 +282,12 @@ func (s *server) feedTrace(ctx context.Context, src *opsched.TraceReader, speed 
 type submitReq struct {
 	Name       string  `json:"name"`
 	Model      string  `json:"model"`
+	Class      string  `json:"class"` // "training" (default) or "inference"
 	Priority   int     `json:"priority"`
 	Weight     float64 `json:"weight"`
 	Steps      int     `json:"steps"`
 	DeadlineMs float64 `json:"deadline_ms"` // relative to submission; 0 = none
+	SLOMs      float64 `json:"slo_ms"`      // inference latency SLO; 0 = none
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -288,7 +298,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	at := s.nowNs()
 	j := opsched.ClusterJob{
-		Name: req.Name, Model: req.Model, ArrivalNs: at,
+		Name: req.Name, Model: req.Model, Class: req.Class, ArrivalNs: at,
 		Priority: req.Priority, Weight: req.Weight, Steps: req.Steps,
 	}
 	if j.Steps <= 0 {
@@ -296,6 +306,16 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.DeadlineMs > 0 {
 		j.DeadlineNs = at + req.DeadlineMs*1e6
+	}
+	if req.SLOMs > 0 {
+		j.SLONs = req.SLOMs * 1e6
+	}
+	// Validate synchronously so the client learns why its spec is bad: an
+	// asynchronously rejected job would only surface as a count in the
+	// snapshot. 503 stays reserved for a pipeline that is draining.
+	if err := j.Check(0); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
 	if err := s.p.Submit(j); err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)

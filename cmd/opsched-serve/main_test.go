@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -232,6 +233,58 @@ func TestRunHTTPServiceEndToEnd(t *testing.T) {
 	report := out.String()
 	if !strings.Contains(report, "web1") || !strings.Contains(report, "web2") {
 		t.Fatalf("sealed report missing HTTP-submitted jobs:\n%s", report)
+	}
+}
+
+// TestHandleSubmitValidation drives the submit handler directly: invalid
+// specs are rejected synchronously with 400 (carrying the validation
+// message) and never reach the pipeline, while a drained pipeline turns
+// valid submissions away with 503.
+func TestHandleSubmitValidation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p, err := opsched.NewJobPipeline(ctx, opsched.PipelineConfig{
+		Cluster: opsched.Cluster{Nodes: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{p: p, start: time.Now()}
+	post := func(body string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		s.handleSubmit(rec, httptest.NewRequest(http.MethodPost, "/jobs", strings.NewReader(body)))
+		return rec
+	}
+
+	bad := []struct {
+		name, body, wantMsg string
+	}{
+		{"unknown model", `{"model":"gpt-17"}`, "unknown model"},
+		{"unknown class", `{"model":"lstm","class":"batchy"}`, "unknown class"},
+		{"slo on training", `{"model":"lstm","slo_ms":20}`, "use DeadlineNs"},
+		{"multi-step inference", `{"model":"lstm","class":"inference","steps":3,"slo_ms":20}`, "one forward step"},
+		{"negative weight", `{"model":"lstm","weight":-1}`, "negative weight"},
+	}
+	for _, tc := range bad {
+		rec := post(tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), tc.wantMsg) {
+			t.Errorf("%s: body %q, want mention of %q", tc.name, rec.Body.String(), tc.wantMsg)
+		}
+	}
+	if rec := post(`{"model":"lstm","class":"inference","slo_ms":50}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("valid inference request: status %d (%s), want 202", rec.Code, rec.Body.String())
+	}
+
+	s.drain()
+	if rec := post(`{"model":"lstm"}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain: status %d, want 503", rec.Code)
+	}
+	if _, err := p.Wait(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -57,7 +57,27 @@ type Device struct {
 	// the P100) — the bound a gang wave's resident working sets must fit
 	// within; <= 0 means the P100 default.
 	HBMBytes float64
+
+	// Sharing selects the concurrency mechanism co-running jobs share the
+	// device through, following the NVIDIA concurrency-mechanism
+	// characterization (arXiv:2110.00459): SharingStreams (the default,
+	// also the empty string) time-slices kernels over CUDA streams, where
+	// interference is mostly scheduler arbitration and grows mildly with
+	// memory-boundedness; SharingMPS partitions SMs spatially MPS-style,
+	// which nearly removes the arbitration cost for compute-bound kernels
+	// but makes co-runners contend harder for the shared memory system.
+	Sharing string
 }
+
+// Sharing modes accepted by Device.Sharing.
+const (
+	SharingStreams = "streams"
+	SharingMPS     = "mps"
+)
+
+// SharingModes lists the accepted Device.Sharing spellings ("" is
+// equivalent to SharingStreams).
+func SharingModes() []string { return []string{SharingStreams, SharingMPS} }
 
 // NewP100 returns the Tesla P100 (CUDA 9, cuDNN 7) configuration of §VII.
 func NewP100() *Device {
@@ -92,6 +112,15 @@ func (d *Device) Validate() error {
 		return errors.New("gpu: BWBytesNs must be positive")
 	case d.LatencyFloor <= 0 || d.LatencyFloor > 1:
 		return errors.New("gpu: LatencyFloor must be in (0,1]")
+	case d.TPBSensitivity < 0:
+		// Negative sensitivity flips the occupancy curve: tpbEff's
+		// 1/(1+s·dev²) divides by ≤ 0 far from the peak and Time goes
+		// negative or infinite.
+		return errors.New("gpu: TPBSensitivity must be non-negative")
+	case d.WaveOverhead < 0:
+		// Negative overhead makes blocksEff's 1/(1+o·(waves-1)) divide by
+		// ≤ 0 at high block counts.
+		return errors.New("gpu: WaveOverhead must be non-negative")
 	case d.Streams < 0:
 		return errors.New("gpu: Streams must be non-negative")
 	case d.FlopsNs < 0:
@@ -102,6 +131,11 @@ func (d *Device) Validate() error {
 		return errors.New("gpu: FlopsHalf must be non-negative")
 	case d.HBMBytes < 0:
 		return errors.New("gpu: HBMBytes must be non-negative")
+	}
+	switch d.Sharing {
+	case "", SharingStreams, SharingMPS:
+	default:
+		return fmt.Errorf("gpu: unknown sharing mode %q (have %v)", d.Sharing, SharingModes())
 	}
 	return nil
 }
@@ -211,5 +245,18 @@ func (d *Device) CoRunTime(a, b Kernel, blocks, tpb int) float64 {
 		return 0
 	}
 	overlap := short / long
-	return long * (1 + streamInterference((a.MemFrac+b.MemFrac)/2)*overlap)
+	return long * (1 + d.interference((a.MemFrac+b.MemFrac)/2)*overlap)
+}
+
+// interference is the per-co-runner slowdown fraction of the device's
+// sharing mode at a given memory-boundedness: time-sliced streams pay a
+// flat arbitration cost plus a mild memory term, MPS-style spatial
+// partitions nearly eliminate arbitration for compute-bound kernels but
+// steepen the memory-contention slope (arXiv:2110.00459's crossover —
+// streams win for memory-bound co-runs, MPS for compute-bound ones).
+func (d *Device) interference(memFrac float64) float64 {
+	if d.Sharing == SharingMPS {
+		return 0.02 + 0.14*memFrac
+	}
+	return streamInterference(memFrac)
 }

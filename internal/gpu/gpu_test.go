@@ -17,17 +17,106 @@ func TestNewP100Valid(t *testing.T) {
 }
 
 func TestValidateRejects(t *testing.T) {
-	for _, mutate := range []func(*Device){
-		func(d *Device) { d.SMs = 0 },
-		func(d *Device) { d.MaxThreadsPerSM = -1 },
-		func(d *Device) { d.BWBytesNs = 0 },
-		func(d *Device) { d.LatencyFloor = 2 },
-	} {
+	cases := []struct {
+		name   string
+		mutate func(*Device)
+	}{
+		{"zero SMs", func(d *Device) { d.SMs = 0 }},
+		{"negative MaxThreadsPerSM", func(d *Device) { d.MaxThreadsPerSM = -1 }},
+		{"zero BWBytesNs", func(d *Device) { d.BWBytesNs = 0 }},
+		{"LatencyFloor above 1", func(d *Device) { d.LatencyFloor = 2 }},
+		{"zero LatencyFloor", func(d *Device) { d.LatencyFloor = 0 }},
+		{"negative TPBSensitivity", func(d *Device) { d.TPBSensitivity = -0.1 }},
+		{"negative WaveOverhead", func(d *Device) { d.WaveOverhead = -0.01 }},
+		{"negative Streams", func(d *Device) { d.Streams = -1 }},
+		{"negative FlopsNs", func(d *Device) { d.FlopsNs = -1 }},
+		{"negative KernelLaunchNs", func(d *Device) { d.KernelLaunchNs = -1 }},
+		{"negative FlopsHalf", func(d *Device) { d.FlopsHalf = -1 }},
+		{"negative HBMBytes", func(d *Device) { d.HBMBytes = -1 }},
+		{"unknown sharing mode", func(d *Device) { d.Sharing = "time-travel" }},
+	}
+	for _, tc := range cases {
 		d := NewP100()
-		mutate(d)
+		tc.mutate(d)
 		if err := d.Validate(); err == nil {
-			t.Error("bad device accepted")
+			t.Errorf("%s: bad device accepted", tc.name)
 		}
+	}
+	for _, mode := range append(SharingModes(), "") {
+		d := NewP100()
+		d.Sharing = mode
+		if err := d.Validate(); err != nil {
+			t.Errorf("sharing mode %q rejected: %v", mode, err)
+		}
+	}
+}
+
+// Property: every device Validate accepts prices every catalog kernel at a
+// finite, positive time over the sweep grids — the guarantee the negative
+// TPBSensitivity/WaveOverhead rejections exist for.
+func TestValidatedDeviceTimeFinite(t *testing.T) {
+	f := func(sens, wave uint8, bi, ti, ki uint8) bool {
+		d := NewP100()
+		// Sweep the occupancy constants over a generous non-negative range
+		// (sensitivity up to ~2.55, wave overhead up to ~0.255).
+		d.TPBSensitivity = float64(sens) / 100
+		d.WaveOverhead = float64(wave) / 1000
+		if err := d.Validate(); err != nil {
+			return false
+		}
+		blocks := BlockGrid()[int(bi)%len(BlockGrid())]
+		tpb := TPBGrid()[int(ti)%len(TPBGrid())]
+		k := Catalog()[int(ki)%len(Catalog())]
+		v := d.Time(k, blocks, tpb)
+		return v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// And the rejected negatives genuinely break the guarantee: a negative
+	// sensitivity drives tpbEff's 1/(1+s·dev²) denominator through zero
+	// (at s=-0.3 the 2048-thread column lands past the pole).
+	d := NewP100()
+	d.TPBSensitivity = -0.3
+	bad := false
+	for _, tpb := range TPBGrid() {
+		k := Catalog()[0]
+		if v := d.Time(k, d.DefaultBlocks, tpb); v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			bad = true
+		}
+	}
+	if !bad {
+		t.Error("negative TPBSensitivity never produced a non-positive time; rejection unnecessary?")
+	}
+}
+
+// The MPS-style spatial sharing mode reprices co-run interference: cheaper
+// than streams for compute-bound co-runs, costlier for memory-bound ones,
+// with both modes still slower than running alone.
+func TestSharingModeInterference(t *testing.T) {
+	streams, mps := NewP100(), NewP100()
+	mps.Sharing = SharingMPS
+	if streams.interference(0.1) <= mps.interference(0.1) {
+		t.Error("streams should pay more arbitration than MPS on compute-bound co-runs")
+	}
+	if streams.interference(0.9) >= mps.interference(0.9) {
+		t.Error("MPS should pay more memory contention than streams on memory-bound co-runs")
+	}
+	for _, d := range []*Device{streams, mps} {
+		for _, mf := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			if i := d.interference(mf); i <= 0 || i >= 1 {
+				t.Errorf("%s interference(%v) = %v, want in (0,1)", d.Sharing, mf, i)
+			}
+		}
+	}
+	// Explicit "streams" and the default empty mode are the same pricing.
+	def, explicit := NewP100(), NewP100()
+	explicit.Sharing = SharingStreams
+	a, _ := Lookup("Conv2D")
+	b, _ := Lookup("BiasAdd")
+	if def.CoRunTime(a, b, def.DefaultBlocks, def.DefaultTPB) !=
+		explicit.CoRunTime(a, b, explicit.DefaultBlocks, explicit.DefaultTPB) {
+		t.Error("explicit streams mode must price identically to the default")
 	}
 }
 

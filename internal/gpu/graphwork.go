@@ -162,11 +162,11 @@ func (d *Device) PredictGraphWork(g *graph.Graph) GraphWork {
 }
 
 // CoRunAlpha is the representative per-co-runner slowdown coefficient of
-// the stream interference model at a mixed (MemFrac 0.5) kernel
-// population — the factor a placement policy inflates a GPU node's
-// predicted finish time by for each resident job, mirroring the CPU mesh
-// interference constant.
-func (d *Device) CoRunAlpha() float64 { return streamInterference(0.5) }
+// the device's sharing mode at a mixed (MemFrac 0.5) kernel population —
+// the factor a placement policy inflates a GPU node's predicted finish
+// time by for each resident job, mirroring the CPU mesh interference
+// constant.
+func (d *Device) CoRunAlpha() float64 { return d.interference(0.5) }
 
 // streamInterference is the pairwise stream-interference coefficient of
 // CoRunTime, extended to an average memory-boundedness.
@@ -230,7 +230,7 @@ func (d *Device) CoRunWave(jobs []GraphWork) ([]WaveJobOutcome, float64, error) 
 		// Aggregate throughput of m concurrent streams is m/(1+i(m-1))
 		// in units of the serial rate — always >= 1 and <= m — so each
 		// job's equal share is 1/(1+i(m-1)), never above its solo rate.
-		rate := 1 / (1 + streamInterference(avgMem)*(m-1))
+		rate := 1 / (1 + d.interference(avgMem)*(m-1))
 		shortest := act[0].remaining
 		clock += shortest / rate
 		finished := 0

@@ -37,6 +37,10 @@ type builder struct {
 	nParams    int
 	seq        int
 	lastUpdate graph.NodeID // previous optimizer update, for chaining
+	// infer builds a forward-only serving graph: backward() drops the tape
+	// instead of unwinding it, so no gradient or optimizer operations are
+	// emitted and nParams stays zero.
+	infer bool
 }
 
 func newBuilder(name string, optimizer op.Kind) *builder {
@@ -69,8 +73,13 @@ func runTape(tape []bwFn, grad T) T {
 	return grad
 }
 
-// backward unwinds the whole tape starting from the loss gradient.
+// backward unwinds the whole tape starting from the loss gradient. In
+// inference mode the tape is dropped unrun: the graph ends at the logits.
 func (b *builder) backward(lossGrad T) {
+	if b.infer {
+		b.bw = nil
+		return
+	}
 	runTape(b.bw, lossGrad)
 	b.bw = nil
 }

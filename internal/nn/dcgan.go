@@ -12,8 +12,11 @@ import "opsched/internal/op"
 // batch, so both subnetworks appear forward and backward — which is why
 // Conv2DBackpropInput, Conv2DBackpropFilter and ApplyAdam dominate DCGAN's
 // operation time in the paper's Table VI.
-func BuildDCGAN(batch int) *Model {
+func BuildDCGAN(batch int) *Model { return buildDCGAN(batch, false) }
+
+func buildDCGAN(batch int, infer bool) *Model {
 	b := newBuilder("dcgan", op.ApplyAdam)
+	b.infer = infer
 
 	// ----- Generator forward: z -> 28×28 image -----
 	z := b.input("z", batch, 100)
@@ -27,6 +30,13 @@ func BuildDCGAN(batch int) *Model {
 	t = b.relu(t, "g/relu1")
 	t = b.deconv(t, 5, 1, 2, "g/deconv2") // 14→28
 	fake := b.tanh(t, "g/tanh")
+
+	// A serving step is image generation alone: the generator forward pass,
+	// no discriminator and no training passes.
+	if infer {
+		b.bw = nil
+		return &Model{Name: DCGAN, Dataset: "MNIST", Batch: batch, Graph: b.g}
+	}
 
 	// ----- Discriminator on the fake batch (trains G through D) -----
 	d := discriminator(b, fake, "d_fake")

@@ -14,8 +14,11 @@ import (
 // contains on the order of a hundred convolutions whose instances span
 // dozens of distinct input shapes (the paper counts 42 differently-shaped
 // Conv2DBackpropFilter instances per step).
-func BuildInceptionV3(batch int) *Model {
+func BuildInceptionV3(batch int) *Model { return buildInceptionV3(batch, false) }
+
+func buildInceptionV3(batch int, infer bool) *Model {
 	b := newBuilder("inception_v3", op.ApplyAdam)
+	b.infer = infer
 
 	x := b.input("images", batch, 299, 299, 3)
 

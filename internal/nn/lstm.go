@@ -26,8 +26,11 @@ const (
 // weight matrix per layer, the per-timestep weight gradients are
 // accumulated with AddN before the single ApplyAdam update — AddN is
 // likewise in LSTM's top five.
-func BuildLSTM(batch int) *Model {
+func BuildLSTM(batch int) *Model { return buildLSTM(batch, false) }
+
+func buildLSTM(batch int, infer bool) *Model {
 	b := newBuilder("lstm", op.ApplyAdam)
+	b.infer = infer
 
 	// Embedding lookup for the whole unrolled batch.
 	ids := b.input("token_ids", batch, lstmSteps)
@@ -94,7 +97,11 @@ func BuildLSTM(batch int) *Model {
 
 	// Shared-weight updates: accumulate the per-timestep gradients of each
 	// layer with AddN, then apply one optimizer update per weight tensor.
+	// An inference step emits no gradients, so there is nothing to sum.
 	for li, layer := range layers {
+		if b.infer {
+			break
+		}
 		label := fmt.Sprintf("l%d", li)
 		wsum := b.g.Add(&op.Op{Kind: op.AddN, Input: layer.dims.Clone(), NumInputs: len(layer.gradW)},
 			b.name(label+"/gradw_sum"), layer.gradW...)

@@ -81,6 +81,39 @@ func MustBuild(name string) *Model {
 	return m
 }
 
+// BuildInference constructs the forward-only serving graph of the named
+// workload at the given per-request batch size: the forward pass is the
+// training step's, but the backward tape is dropped, so no gradient or
+// optimizer operations appear and Params is zero (DCGAN serves just its
+// generator — image generation). These are the tiny graphs the inference
+// job class schedules at high rate.
+func BuildInference(name string, batch int) (*Model, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("nn: inference batch must be positive, got %d", batch)
+	}
+	switch name {
+	case ResNet50:
+		return buildResNet50(batch, true), nil
+	case DCGAN:
+		return buildDCGAN(batch, true), nil
+	case InceptionV3:
+		return buildInceptionV3(batch, true), nil
+	case LSTM:
+		return buildLSTM(batch, true), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown model %q (have %v)", name, Names())
+	}
+}
+
+// MustBuildInference is BuildInference that panics on a bad name or batch.
+func MustBuildInference(name string, batch int) *Model {
+	m, err := BuildInference(name, batch)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // BuildAll constructs all four workloads at their paper batch sizes.
 func BuildAll() []*Model {
 	ms := make([]*Model, 0, 4)

@@ -232,3 +232,79 @@ func TestResolve(t *testing.T) {
 		t.Error("unknown model name accepted")
 	}
 }
+
+// TestBuildInferenceForwardOnly: the serving builder drops the whole
+// training tape — no gradient or optimizer operations survive, Params is
+// zero, and the graph is a strict (and much cheaper) subset of the
+// training step's.
+func TestBuildInferenceForwardOnly(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := BuildInference(name, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Graph.Validate(); err != nil {
+				t.Fatalf("serving graph invalid: %v", err)
+			}
+			if m.Params != 0 {
+				t.Errorf("serving graph records %d optimizer params, want 0", m.Params)
+			}
+			for _, n := range m.Graph.Nodes() {
+				k := string(n.Op.Kind)
+				// Conv2DBackpropInput stays legal: it is DCGAN's transposed
+				// convolution, a forward op despite the name.
+				if n.Op.Kind == op.ApplyAdam || strings.Contains(k, "Grad") ||
+					n.Op.Kind == op.Conv2DBackpropFilter {
+					t.Fatalf("serving graph contains training op %s", k)
+				}
+			}
+			train := MustBuild(name)
+			if got, full := m.Graph.Len(), train.Graph.Len(); got >= full {
+				t.Errorf("serving graph has %d nodes, not smaller than training's %d", got, full)
+			}
+			var serve, full float64
+			for _, n := range m.Graph.Nodes() {
+				serve += n.Op.Cost().WorkNs
+			}
+			for _, n := range train.Graph.Nodes() {
+				full += n.Op.Cost().WorkNs
+			}
+			// The request batch (8) is far below the training batch, and the
+			// tape is gone: a request must be a small fraction of a step.
+			if serve >= full/2 {
+				t.Errorf("serving work %v is not well below training work %v", serve, full)
+			}
+		})
+	}
+}
+
+// TestBuildInferenceBatchAxis: request batch size scales serving work, and
+// bad inputs are rejected.
+func TestBuildInferenceBatchAxis(t *testing.T) {
+	work := func(m *Model) float64 {
+		var w float64
+		for _, n := range m.Graph.Nodes() {
+			w += n.Op.Cost().WorkNs
+		}
+		return w
+	}
+	small := MustBuildInference(DCGAN, 1)
+	large := MustBuildInference(DCGAN, 16)
+	if work(large) <= work(small) {
+		t.Errorf("serving work did not grow with batch: %v vs %v", work(large), work(small))
+	}
+	if _, err := BuildInference(DCGAN, 0); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := BuildInference("AlexNet", 8); err == nil {
+		t.Error("unknown model accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuildInference(bad) should panic")
+		}
+	}()
+	MustBuildInference(DCGAN, -1)
+}

@@ -7,8 +7,11 @@ import "opsched/internal/op"
 // batch size 64. The network is the standard [3,4,6,3] bottleneck stack:
 // each bottleneck is 1×1 reduce → 3×3 → 1×1 expand with batch norm and
 // ReLU, plus an identity or 1×1-projection shortcut.
-func BuildResNet50(batch int) *Model {
+func BuildResNet50(batch int) *Model { return buildResNet50(batch, false) }
+
+func buildResNet50(batch int, infer bool) *Model {
 	b := newBuilder("resnet50", op.ApplyAdam)
+	b.infer = infer
 
 	x := b.input("images", batch, 32, 32, 3)
 

@@ -100,3 +100,58 @@ func BenchmarkPipelineReplay(b *testing.B) {
 		})
 	}
 }
+
+// inferSource synthesizes an unbounded-style serving stream one request at
+// a time: tiny single-step inference specs under a per-request SLO, the
+// Source shape a production request log has. Like genSource it holds O(1)
+// memory whatever n is.
+type inferSource struct {
+	i, n   int
+	gapNs  float64
+	models []string
+	sloNs  float64
+}
+
+func (g *inferSource) Next() (place.JobSpec, error) {
+	if g.i >= g.n {
+		return place.JobSpec{}, io.EOF
+	}
+	j := place.JobSpec{
+		Model:     g.models[g.i%len(g.models)],
+		Class:     place.ClassInference,
+		ArrivalNs: float64(g.i) * g.gapNs,
+		Steps:     1,
+		SLONs:     g.sloNs,
+	}
+	g.i++
+	return j, nil
+}
+
+// BenchmarkPipelineInferenceReplay streams generated inference requests
+// through Replay on a mixed 2 KNL + 2 P100 fleet — dynamic batching,
+// latency-class admission and per-class metrics all on the hot path. Like
+// the training replay it runs unpaced (virtual time only) so the req/s
+// figure measures the engine, not the arrival clock.
+func BenchmarkPipelineInferenceReplay(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("requests=%d/pacing=unpaced", n), func(b *testing.B) {
+			if n > 10_000 && testing.Short() {
+				b.Skip("100k inference replay is the full-suite scale gate; run without -short (scripts/bench.sh does)")
+			}
+			b.ReportAllocs()
+			cfg := Config{Cluster: place.Cluster{Nodes: 2, GPUs: 2}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := &inferSource{n: n, gapNs: 0.1e6, models: []string{"dcgan"}, sloNs: 100e6}
+				res, err := Replay(context.Background(), cfg, src, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Jobs) != n {
+					b.Fatalf("replayed %d of %d requests", len(res.Jobs), n)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}

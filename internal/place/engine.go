@@ -37,6 +37,12 @@ type waveState struct {
 	drainNs float64
 	// cut marks the wave for checkpointing at the current round's end.
 	cut bool
+	// batch maps an inference slot leader to the follower requests its
+	// dynamic batch folded in: the leader occupies the wave slot (and is
+	// the job `active` lists), the followers ride its batch-sized forward
+	// step and complete with it. nil in any wave that batched nothing, so
+	// training-only waves carry no extra state.
+	batch map[int][]int
 }
 
 // nodeState is one node's mutable bookkeeping inside the event loop.
@@ -178,6 +184,11 @@ type Engine struct {
 	countedOn    []int     // last node the job was counted as executing on (-1 none)
 	checkpointNs []float64 // per-job pending checkpoint capture time, -1 when none
 	path         [][]string
+	workKeys     []string // per-job pricing key: the model, or InferKey(model, 1)
+
+	// anyInference arms the latency-class admission path the first time an
+	// inference request is admitted; a training-only run never takes it.
+	anyInference bool
 
 	si        *shardedIndex
 	idxW      int
@@ -225,7 +236,14 @@ func NewEngine(c Cluster, opts Options) (*Engine, error) {
 		if g, ok := graphs[model]; ok {
 			return g
 		}
-		g := nn.MustBuild(model).Graph
+		var g *graph.Graph
+		if base, batch, ok := parseInferKey(model); ok {
+			// An inference work key prices the forward-only serving graph
+			// at its dynamic batch size, not the training step.
+			g = nn.MustBuildInference(base, batch).Graph
+		} else {
+			g = nn.MustBuild(model).Graph
+		}
 		graphs[model] = g
 		return g
 	}
@@ -307,6 +325,12 @@ func (e *Engine) Admit(j JobSpec) (int, error) {
 	e.countedOn = append(e.countedOn, -1)
 	e.checkpointNs = append(e.checkpointNs, -1)
 	e.path = append(e.path, nil)
+	key := canon
+	if j.Inference() {
+		key = InferKey(canon, 1)
+		e.anyInference = true
+	}
+	e.workKeys = append(e.workKeys, key)
 	return ji, nil
 }
 
@@ -467,8 +491,10 @@ func (e *Engine) pathSeg(n int) string {
 }
 
 // remainingWorkOn prices job ji's unfinished steps on node ns's hardware.
+// Inference requests price at their forward-only serving graph (their work
+// key), not the model's training step.
 func (e *Engine) remainingWorkOn(ns *nodeState, ji int) float64 {
-	return float64(e.steps[ji]-e.done[ji]) * ns.rt.SoloWorkNs(e.specs[ji].Model)
+	return float64(e.steps[ji]-e.done[ji]) * ns.rt.SoloWorkNs(e.workKeys[ji])
 }
 
 // parallelViewsMin is the fleet size past which a sharded engine fans the
@@ -499,7 +525,7 @@ func (e *Engine) ViewsInto(ji int, nowNs float64, vs []NodeView) {
 	if len(vs) != len(e.nodes) {
 		panic(fmt.Sprintf("place: ViewsInto needs a %d-node slice, got %d", len(e.nodes), len(vs)))
 	}
-	model := e.specs[ji].Model
+	model := e.workKeys[ji]
 	steps := float64(e.steps[ji])
 	fill := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -564,12 +590,16 @@ func (e *Engine) Place(ji, n int, at float64) error {
 		return fmt.Errorf("place: policy %q placed job %s on node %d of a %d-node cluster",
 			e.pol.Name(), sp.Name, n, len(e.nodes))
 	}
-	mi := e.info(sp.Model)
+	// An inference request stages its serving graph's payload — next to no
+	// parameters, so effectively just the interconnect latency — not the
+	// training model's optimizer state.
+	mi := e.info(e.workKeys[ji])
 	ns := e.nodes[n]
 	e.placed[ji] = PlacedJob{
 		Name: sp.Name, Model: sp.Model, Node: n, Kind: ns.rt.Kind(),
 		ArrivalNs: at, TransferNs: mi.xferNs, ReadyNs: at + mi.xferNs,
 		DeadlineNs: sp.DeadlineNs, Steps: e.steps[ji],
+		Class: sp.EffectiveClass(), SLONs: sp.SLONs,
 	}
 	e.readyNs[ji] = at + mi.xferNs
 	e.path[ji] = []string{e.pathSeg(n)}
@@ -598,6 +628,9 @@ func (e *Engine) fireTriggers(ji, node int, at float64) {
 		DeadlineNs: sp.DeadlineNs, Node: node,
 		WorkNs:  e.remainingWorkOn(e.nodes[node], ji),
 		ReadyNs: e.readyNs[ji],
+	}
+	if sp.Inference() && sp.SLONs > 0 {
+		arr.SLODeadlineNs = at + sp.SLONs
 	}
 	snap := e.snapshot()
 	for _, tr := range e.triggers {
@@ -650,13 +683,21 @@ func (e *Engine) snapshot() []preempt.NodeSnapshot {
 	return out
 }
 
+// maxDynamicBatch caps how many same-model inference requests one wave
+// slot folds into a single batch-sized forward step.
+const maxDynamicBatch = 8
+
 // admitWave selects the staged-and-ready jobs joining node n's next wave:
 // up to the hardware's wave capacity, and on a memory-bound node (a GPU)
 // only while the working sets fit the device budget — though a lone job is
-// always admitted so an oversized model still runs. GPU nodes pack
+// always admitted so an oversized model still runs. Inference requests are
+// latency-class: they jump every training candidate (earliest SLO deadline
+// first), and same-model requests fold into one dynamic batch per slot —
+// the leader occupies the slot, its followers ride the batch-sized forward
+// step for free. Behind them, GPU nodes pack training jobs
 // shortest-predicted-first (stable, so equal-work jobs keep placement
-// order); CPU nodes admit in placement order.
-func (e *Engine) admitWave(n int, startNs float64) []int {
+// order); CPU nodes admit training jobs in placement order.
+func (e *Engine) admitWave(n int, startNs float64) ([]int, map[int][]int) {
 	ns := e.nodes[n]
 	capacity := ns.rt.Capacity()
 	memCap := ns.rt.MemCapacityBytes()
@@ -668,18 +709,46 @@ func (e *Engine) admitWave(n int, startNs float64) []int {
 		}
 	}
 	e.candBuf = cands
+	trainStart := 0
+	if e.anyInference {
+		// Latency-class first: inference requests ahead of training,
+		// ordered by SLO deadline (requests without one last); ties and
+		// the training suffix keep placement order (stable).
+		sort.SliceStable(cands, func(a, b int) bool {
+			sa, sb := e.specs[cands[a]], e.specs[cands[b]]
+			ia, ib := sa.Inference(), sb.Inference()
+			if ia != ib {
+				return ia
+			}
+			if !ia {
+				return false
+			}
+			da, db := math.Inf(1), math.Inf(1)
+			if sa.SLONs > 0 {
+				da = sa.ArrivalNs + sa.SLONs
+			}
+			if sb.SLONs > 0 {
+				db = sb.ArrivalNs + sb.SLONs
+			}
+			return da < db
+		})
+		for trainStart < len(cands) && e.specs[cands[trainStart]].Inference() {
+			trainStart++
+		}
+	}
 	if ns.rt.Kind() == KindGPU {
 		// Highest priority first, then shortest remaining work — a
 		// resumed checkpoint is priced at its unfinished steps, not its
 		// per-step time, and a preemption's beneficiary is never crowded
 		// out of the relaunch by the very jobs it displaced. Equal keys
 		// keep placement order (stable).
-		sort.SliceStable(cands, func(a, b int) bool {
-			pa, pb := e.specs[cands[a]].Priority, e.specs[cands[b]].Priority
+		tc := cands[trainStart:]
+		sort.SliceStable(tc, func(a, b int) bool {
+			pa, pb := e.specs[tc[a]].Priority, e.specs[tc[b]].Priority
 			if pa != pb {
 				return pa > pb
 			}
-			return e.remainingWorkOn(ns, cands[a]) < e.remainingWorkOn(ns, cands[b])
+			return e.remainingWorkOn(ns, tc[a]) < e.remainingWorkOn(ns, tc[b])
 		})
 	}
 	// admit escapes into waveState.active, so it alone is freshly
@@ -691,13 +760,41 @@ func (e *Engine) admitWave(n int, startNs float64) []int {
 		clear(e.admittedBuf)
 	}
 	admitted := e.admittedBuf
+	var batch map[int][]int
 	memUsed := 0.0
-	for _, ji := range cands {
+	for ci, ji := range cands {
 		if len(admit) >= capacity {
 			break
 		}
+		if admitted[ji] {
+			continue
+		}
+		sp := e.specs[ji]
+		var group []int
+		if sp.Inference() {
+			// Fold later same-model requests into this slot's dynamic
+			// batch; the deadline sort already put the most urgent ones
+			// first, so a batch never delays a tighter request behind a
+			// looser leader.
+			for _, fj := range cands[ci+1:] {
+				if 1+len(group) >= maxDynamicBatch {
+					break
+				}
+				if admitted[fj] {
+					continue
+				}
+				if fsp := e.specs[fj]; !fsp.Inference() || fsp.Model != sp.Model {
+					continue
+				}
+				group = append(group, fj)
+			}
+		}
 		if memCap > 0 {
-			need := ns.rt.JobMemBytes(e.specs[ji].Model)
+			key := e.workKeys[ji]
+			if len(group) > 0 {
+				key = InferKey(sp.Model, 1+len(group))
+			}
+			need := ns.rt.JobMemBytes(key)
 			if len(admit) > 0 && memUsed+need > memCap {
 				continue
 			}
@@ -705,6 +802,15 @@ func (e *Engine) admitWave(n int, startNs float64) []int {
 		}
 		admit = append(admit, ji)
 		admitted[ji] = true
+		if len(group) > 0 {
+			if batch == nil {
+				batch = make(map[int][]int)
+			}
+			batch[ji] = group
+			for _, fj := range group {
+				admitted[fj] = true
+			}
+		}
 	}
 	// Compact the queue in place: the write index never passes the read
 	// index, so filtering into queue[:0] is safe and allocation-free.
@@ -723,20 +829,20 @@ func (e *Engine) admitWave(n int, startNs float64) []int {
 		}
 	}
 	e.si.queueDelta(n, len(rest)-prevQueued, ns.queuedWorkNs-prevWorkNs)
-	return admit
+	return admit, batch
 }
 
 // launchWave starts a new gang wave on node n at startNs.
 func (e *Engine) launchWave(n int, startNs float64) error {
 	ns := e.nodes[n]
-	admit := e.admitWave(n, startNs)
+	admit, batch := e.admitWave(n, startNs)
 	if len(admit) == 0 {
 		return fmt.Errorf("place: node %d woke with no admissible job", n)
 	}
-	w := &waveState{ord: ns.waves, active: admit}
+	w := &waveState{ord: ns.waves, active: admit, batch: batch}
 	ns.wave = w
 	ns.waves++
-	for _, ji := range admit {
+	launch := func(ji, batched int) {
 		// A job counts toward a node's executed jobs once per node it
 		// runs on: a checkpoint resuming where it was preempted is not a
 		// new job, a migrated one genuinely executed on both nodes.
@@ -746,6 +852,7 @@ func (e *Engine) launchWave(n int, startNs float64) error {
 		}
 		p := &e.placed[ji]
 		p.Wave = w.ord
+		p.Batched = batched
 		if !e.started[ji] {
 			e.started[ji] = true
 			p.StartNs = startNs
@@ -754,6 +861,17 @@ func (e *Engine) launchWave(n int, startNs float64) error {
 		if e.checkpointNs[ji] >= 0 {
 			p.DisruptionNs += startNs - e.checkpointNs[ji]
 			e.checkpointNs[ji] = -1
+		}
+	}
+	for _, ji := range admit {
+		size := 0
+		if e.specs[ji].Inference() {
+			size = 1 + len(batch[ji])
+		}
+		launch(ji, size)
+		// Followers of a dynamic batch launch with their slot's leader.
+		for _, fj := range batch[ji] {
+			launch(fj, size)
 		}
 	}
 	return e.runRound(n, startNs)
@@ -769,10 +887,18 @@ func (e *Engine) runRound(n int, startNs float64) error {
 	jobs := e.waveJobBuf[:0]
 	for _, ji := range w.active {
 		sp := e.specs[ji]
-		jobs = append(jobs, WaveJob{
+		wj := WaveJob{
 			Name: sp.Name, Model: sp.Model, Priority: sp.Priority, Weight: sp.Weight,
 			StepsLeft: e.steps[ji] - e.done[ji],
-		})
+		}
+		if sp.Inference() {
+			// An inference slot runs one batch-sized forward step: its
+			// work key carries the dynamic batch size, so every cache
+			// (runtime work, gang signature) prices it distinctly.
+			wj.Model = InferKey(sp.Model, 1+len(w.batch[ji]))
+			wj.Class = ClassInference
+		}
+		jobs = append(jobs, wj)
 	}
 	e.waveJobBuf = jobs
 	res, err := ns.rt.RunWave(jobs)
@@ -846,8 +972,26 @@ func (e *Engine) finishRound(n int) ([]int, error) {
 				p.Slowdown = p.JCTNs() / p.SoloNs
 			}
 			p.DeadlineMet = p.DeadlineNs > 0 && p.FinishNs <= p.DeadlineNs
+			p.SLOMet = p.SLONs > 0 && p.FinishNs <= p.ArrivalNs+p.SLONs
 			e.completed++
 			finished = append(finished, ji)
+			// A dynamic batch's followers rode this slot's forward step:
+			// they finish with their leader, sharing its wave outcome.
+			for _, fj := range w.batch[ji] {
+				e.done[fj]++
+				fp := &e.placed[fj]
+				fp.SoloNs += jr.SoloNs
+				fp.CoRunNs += jr.MakespanNs
+				fp.FinishNs = w.roundStartNs + jr.MakespanNs
+				if fp.SoloNs > 0 {
+					fp.CoRunSlowdown = fp.CoRunNs / fp.SoloNs
+					fp.Slowdown = fp.JCTNs() / fp.SoloNs
+				}
+				fp.DeadlineMet = fp.DeadlineNs > 0 && fp.FinishNs <= fp.DeadlineNs
+				fp.SLOMet = fp.SLONs > 0 && fp.FinishNs <= fp.ArrivalNs+fp.SLONs
+				e.completed++
+				finished = append(finished, fj)
+			}
 		} else {
 			// Lockstep: the job waits out the round before its next step.
 			p.CoRunNs += w.res.TotalNs

@@ -1,0 +1,300 @@
+package place
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"opsched/internal/nn"
+)
+
+// TestSyntheticInference: the serving generator is deterministic, emits
+// well-formed latency-class requests, genuinely bursts, and rejects bad
+// input.
+func TestSyntheticInference(t *testing.T) {
+	w, err := SyntheticInference(96, 9, []string{"dcgan", "lstm"}, 1e6, 40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := MustSyntheticInference(96, 9, []string{"dcgan", "lstm"}, 1e6, 40e6)
+	if len(w) != 96 || len(again) != 96 {
+		t.Fatalf("got %d / %d requests, want 96", len(w), len(again))
+	}
+	for i := range w {
+		if w[i] != again[i] {
+			t.Fatalf("request %d differs between identical seeds: %+v vs %+v", i, w[i], again[i])
+		}
+	}
+	prev := -1.0
+	for i, j := range w {
+		if err := j.Check(i); err != nil {
+			t.Fatalf("request %d invalid: %v", i, err)
+		}
+		if j.Class != ClassInference || j.Steps != 1 || j.SLONs != 40e6 {
+			t.Fatalf("request %d is %+v, want inference/1-step/40ms SLO", i, j)
+		}
+		if j.Priority <= 2 {
+			t.Errorf("request %d priority %d does not outrank the 0-2 training cycle", i, j.Priority)
+		}
+		if j.Model != nn.DCGAN && j.Model != nn.LSTM {
+			t.Errorf("request %d model %q escapes the cycle", i, j.Model)
+		}
+		if j.ArrivalNs < prev {
+			t.Fatalf("request %d arrives at %v before its predecessor %v", i, j.ArrivalNs, prev)
+		}
+		prev = j.ArrivalNs
+	}
+
+	// The two-phase process must actually modulate the rate: burst gaps are
+	// 10x tighter than calm gaps, so the stream holds gaps both under and
+	// over a threshold no single-phase uniform generator straddles (calm
+	// gaps are >= 0.5 ms, burst gaps < 0.15 ms).
+	var tight, wide bool
+	for i := 1; i < len(w); i++ {
+		gap := w[i].ArrivalNs - w[i-1].ArrivalNs
+		if gap < 0.15e6 {
+			tight = true
+		}
+		if gap >= 0.5e6 {
+			wide = true
+		}
+	}
+	if !tight || !wide {
+		t.Errorf("arrival gaps never straddle the burst/calm split (tight=%v wide=%v)", tight, wide)
+	}
+
+	// A different seed moves the arrivals.
+	other := MustSyntheticInference(96, 10, []string{"dcgan", "lstm"}, 1e6, 40e6)
+	same := true
+	for i := range w {
+		if w[i].ArrivalNs != other[i].ArrivalNs {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 9 and 10 produce identical arrival streams")
+	}
+
+	// Defaulting: a non-positive SLO becomes defaultSLOGapFactor calm gaps.
+	defaulted := MustSyntheticInference(4, 1, nil, 2e6, 0)
+	if want := defaultSLOGapFactor * 2e6; defaulted[0].SLONs != want {
+		t.Errorf("defaulted SLO is %v, want %v", defaulted[0].SLONs, want)
+	}
+
+	if _, err := SyntheticInference(0, 1, nil, 1e6, 1e6); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := SyntheticInference(4, 1, []string{"vgg"}, 1e6, 1e6); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// TestWorkloadMerge: Merge interleaves two arrival-sorted streams into one
+// arrival-sorted stream, stably — on a tie the receiver's job goes first —
+// without dropping or reordering either side internally.
+func TestWorkloadMerge(t *testing.T) {
+	training := Workload{
+		{Name: "t0", Model: "lstm", ArrivalNs: 0},
+		{Name: "t1", Model: "lstm", ArrivalNs: 10},
+		{Name: "t2", Model: "lstm", ArrivalNs: 20},
+	}
+	serving := Workload{
+		{Name: "s0", Model: "dcgan", ArrivalNs: 5, Class: ClassInference, Steps: 1},
+		{Name: "s1", Model: "dcgan", ArrivalNs: 10, Class: ClassInference, Steps: 1},
+		{Name: "s2", Model: "dcgan", ArrivalNs: 25, Class: ClassInference, Steps: 1},
+	}
+	merged := training.Merge(serving)
+	var order []string
+	for _, j := range merged {
+		order = append(order, j.Name)
+	}
+	// t1 arrives at 10 like s1; the receiver (training) wins the tie.
+	want := "t0 s0 t1 s1 t2 s2"
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("merged order %q, want %q", got, want)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].ArrivalNs < merged[i-1].ArrivalNs {
+			t.Fatalf("merge broke arrival order at %d: %v < %v", i, merged[i].ArrivalNs, merged[i-1].ArrivalNs)
+		}
+	}
+	if got := len(Workload{}.Merge(serving)); got != len(serving) {
+		t.Errorf("empty receiver merge keeps %d jobs, want %d", got, len(serving))
+	}
+	if got := len(training.Merge(nil)); got != len(training) {
+		t.Errorf("nil-argument merge keeps %d jobs, want %d", got, len(training))
+	}
+}
+
+// TestInferenceSpecValidation: the serving-class rules of JobSpec.Check.
+func TestInferenceSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		j    JobSpec
+		want string
+	}{
+		{"unknown class", JobSpec{Model: "lstm", Class: "batch"}, "unknown class"},
+		{"slo on training", JobSpec{Model: "lstm", SLONs: 1e6}, "per-request SLO"},
+		{"multi-step inference", JobSpec{Model: "lstm", Class: ClassInference, Steps: 2}, "one forward step"},
+		{"negative slo", JobSpec{Model: "lstm", Class: ClassInference, SLONs: -1}, "negative SLO"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.j.Check(0)
+			if err == nil {
+				t.Fatalf("%+v accepted", tc.j)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	ok := JobSpec{Model: "lstm", Class: ClassInference, Steps: 1, SLONs: 5e6}
+	if err := ok.Check(0); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+}
+
+// TestInferenceDynamicBatching: same-model requests that queue behind a
+// busy node fold into one wave slot — at least one leader reports a dynamic
+// batch of several requests, every follower completes with its leader, and
+// the per-class result accounting stays consistent.
+func TestInferenceDynamicBatching(t *testing.T) {
+	w := Workload{
+		{Name: "bg", Model: "lstm", ArrivalNs: 0, Steps: 4},
+	}
+	// Six identical requests land while the training wave runs, so they are
+	// all pending together when the node next admits.
+	for i := 0; i < 6; i++ {
+		w = append(w, JobSpec{
+			Name:      "req" + string(rune('0'+i)),
+			Model:     "dcgan",
+			Class:     ClassInference,
+			Steps:     1,
+			ArrivalNs: 1e6 + float64(i)*1e3,
+			SLONs:     500e6,
+		})
+	}
+	res, err := PlaceJobs(w, Cluster{Nodes: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InferenceJobs != 6 || res.TrainingJobs != 1 {
+		t.Fatalf("per-class split is %d inference / %d training, want 6/1",
+			res.InferenceJobs, res.TrainingJobs)
+	}
+	batched := map[float64][]PlacedJob{}
+	maxBatch := 0
+	for _, j := range res.Jobs {
+		if j.Class != ClassInference {
+			continue
+		}
+		if j.Batched < 1 {
+			t.Errorf("request %s reports batch %d, want >= 1", j.Name, j.Batched)
+		}
+		if j.Batched > maxBatch {
+			maxBatch = j.Batched
+		}
+		batched[j.FinishNs] = append(batched[j.FinishNs], j)
+	}
+	if maxBatch < 2 {
+		t.Fatalf("no dynamic batch formed (max batch %d); report:\n%s", maxBatch, res.Render())
+	}
+	// Every member of a dynamic batch shares its leader's finish instant
+	// and batch size.
+	for finish, group := range batched {
+		for _, j := range group {
+			if j.Batched != group[0].Batched {
+				t.Errorf("requests finishing at %v disagree on batch size: %d vs %d",
+					finish, j.Batched, group[0].Batched)
+			}
+		}
+	}
+	if res.SLOTotal != 6 || res.SLOMet != 6 {
+		t.Errorf("slo accounting %d/%d, want 6/6 under the loose 500 ms objective; report:\n%s",
+			res.SLOMet, res.SLOTotal, res.Render())
+	}
+	if !strings.Contains(res.Render(), "inference:") {
+		t.Errorf("serving summary line missing from report:\n%s", res.Render())
+	}
+}
+
+// TestInferenceSLOAttainmentProperty: whatever the mixed workload, fleet
+// and trigger arming, the per-class aggregates stay internally consistent —
+// attainment in [0,1] and equal to SLOMet/SLOTotal, the class split covers
+// every job, goodput non-negative, and rendered reports deterministic
+// across a rerun.
+func TestInferenceSLOAttainmentProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attainment property runs full mixed placements")
+	}
+	prop := func(seed uint16, nReq uint8, trigIdx uint8) bool {
+		reqs := 2 + int(nReq)%10
+		triggers := []string{"off", "slo-at-risk", "all"}[int(trigIdx)%3]
+		training, err := SyntheticSteps(3, uint64(seed)+1, []string{nn.LSTM, nn.DCGAN}, 1e6, 3)
+		if err != nil {
+			t.Logf("seed=%d: %v", seed, err)
+			return false
+		}
+		serving := MustSyntheticInference(reqs, uint64(seed)+2, []string{nn.DCGAN}, 1e6, 60e6)
+		w := training.Merge(serving)
+		res, err := PlaceJobs(w, Cluster{Nodes: 1, GPUs: 1}, Options{Policy: "spread", Preempt: triggers})
+		if err != nil {
+			t.Logf("seed=%d reqs=%d triggers=%s: %v", seed, reqs, triggers, err)
+			return false
+		}
+		if res.InferenceJobs != reqs || res.TrainingJobs != 3 {
+			t.Logf("class split %d/%d, want %d/3", res.InferenceJobs, res.TrainingJobs, reqs)
+			return false
+		}
+		if res.SLOTotal != reqs || res.SLOMet < 0 || res.SLOMet > res.SLOTotal {
+			t.Logf("slo counts %d/%d out of range", res.SLOMet, res.SLOTotal)
+			return false
+		}
+		if res.SLOAttainment < 0 || res.SLOAttainment > 1 {
+			t.Logf("attainment %v outside [0,1]", res.SLOAttainment)
+			return false
+		}
+		if want := float64(res.SLOMet) / float64(res.SLOTotal); res.SLOAttainment != want {
+			t.Logf("attainment %v != %d/%d", res.SLOAttainment, res.SLOMet, res.SLOTotal)
+			return false
+		}
+		if res.GoodputPerSec < 0 {
+			t.Logf("negative goodput %v", res.GoodputPerSec)
+			return false
+		}
+		if res.InferP50JCTNs > res.InferP99JCTNs {
+			t.Logf("inference p50 %v > p99 %v", res.InferP50JCTNs, res.InferP99JCTNs)
+			return false
+		}
+		rerun, err := PlaceJobs(w, Cluster{Nodes: 1, GPUs: 1}, Options{Policy: "spread", Preempt: triggers})
+		if err != nil || res.Render() != rerun.Render() {
+			t.Logf("seed=%d triggers=%s: rerun diverged (%v)", seed, triggers, err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 5, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrainingOnlyResultHasNoServingFields: a training-only run reports
+// zero per-class serving aggregates and renders without the serving
+// columns — the byte-identity contract with pre-serving reports.
+func TestTrainingOnlyResultHasNoServingFields(t *testing.T) {
+	w := MustSynthetic(4, 3, []string{nn.LSTM}, 1e6)
+	res, err := PlaceJobs(w, Cluster{Nodes: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InferenceJobs != 0 || res.SLOTotal != 0 || res.SLOAttainment != 0 || res.GoodputPerSec != 0 {
+		t.Errorf("training-only run leaks serving aggregates: %+v", res)
+	}
+	if r := res.Render(); strings.Contains(r, "class") || strings.Contains(r, "inference:") {
+		t.Errorf("training-only report renders serving columns:\n%s", r)
+	}
+}

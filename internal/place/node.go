@@ -68,6 +68,12 @@ type WaveJob struct {
 	// read it, but it feeds the gang signature's steps bucket so a
 	// step-count-aware runtime could be memoized without changing keys.
 	StepsLeft int
+	// Class is the job's workload class (ClassTraining when empty). An
+	// inference slot's Model is already an InferKey, so the class never
+	// needs its own slot in the gang signature — it is derivable from the
+	// model key — but carrying it explicitly lets the CPU runtime weight
+	// latency-class slots without string inspection.
+	Class string
 }
 
 // WaveJobResult is one job's outcome inside a wave.
@@ -139,6 +145,13 @@ type cpuRuntime struct {
 // throughput on a manycore node.
 const cpuMeshAlpha = 0.22
 
+// inferenceWeightBoost multiplies an inference slot's fair-share weight
+// inside a CPU wave: the cross-job arbiter grants latency-class requests a
+// larger core share than the training jobs they co-run with, the CPU-node
+// analogue of the GPU path's queue-jumping admission. Training-only waves
+// never see it, so their arbiter budgets are unchanged.
+const inferenceWeightBoost = 4
+
 func (c *cpuRuntime) Kind() string               { return KindCPU }
 func (c *cpuRuntime) Hardware() string           { return c.m.String() }
 func (c *cpuRuntime) Capacity() int              { return c.m.Cores }
@@ -179,6 +192,13 @@ func (c *cpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
 		}
 		job.Priority = wj.Priority
 		job.Weight = wj.Weight
+		if wj.Class == ClassInference {
+			w := wj.Weight
+			if w <= 0 {
+				w = 1
+			}
+			job.Weight = w * inferenceWeightBoost
+		}
 		mj[i] = job
 	}
 	res, err := multijob.CoTrain(mj, c.arb, multijob.Options{Machine: c.m})

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"opsched/internal/cluster"
@@ -69,6 +70,65 @@ type JobSpec struct {
 	// wave: a multi-step job can be checkpointed between steps and resume
 	// — possibly on another node — with no completed work lost.
 	Steps int
+	// Class is the job's workload class: ClassTraining (also the empty
+	// string) runs a multi-step training graph to completion;
+	// ClassInference is one serving request — a single forward-only step
+	// (nn.BuildInference) that the engine treats as latency-class: it jumps
+	// the wave-admission queue, folds into a dynamic batch with same-model
+	// pending requests, and may preempt training waves through the
+	// slo-at-risk trigger instead of queueing behind them.
+	Class string
+	// SLONs is an inference request's per-request latency objective: the
+	// request meets its SLO when it finishes within SLONs of its arrival.
+	// 0 means none; only inference jobs may carry one. SLOs are reported
+	// (and drive the slo-at-risk trigger), not enforced.
+	SLONs float64
+}
+
+// Workload classes a JobSpec may carry ("" is equivalent to ClassTraining).
+const (
+	ClassTraining  = "training"
+	ClassInference = "inference"
+)
+
+// Classes lists the accepted JobSpec.Class spellings.
+func Classes() []string { return []string{ClassTraining, ClassInference} }
+
+// EffectiveClass is the job's class after defaulting the empty string.
+func (j JobSpec) EffectiveClass() string {
+	if j.Class == "" {
+		return ClassTraining
+	}
+	return j.Class
+}
+
+// Inference reports whether the job is a serving request.
+func (j JobSpec) Inference() bool { return j.Class == ClassInference }
+
+// inferKeySep splits an inference work key "model/infer@batch": the string
+// the engine prices inference work under, so every model-keyed cache — the
+// per-runtime work caches, the staging-transfer cache, the gang signatures —
+// distinguishes serving graphs (and their dynamic batch sizes) from the
+// training graph of the same model without learning a second key scheme.
+const inferKeySep = "/infer@"
+
+// InferKey is the work key of a batch-sized inference step of model.
+func InferKey(model string, batch int) string {
+	return model + inferKeySep + strconv.Itoa(batch)
+}
+
+// parseInferKey splits an inference work key back into (model, batch); ok
+// is false for a plain training model key.
+func parseInferKey(key string) (model string, batch int, ok bool) {
+	i := strings.LastIndex(key, inferKeySep)
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(key[i+len(inferKeySep):])
+	if err != nil || n <= 0 {
+		return "", 0, false
+	}
+	return key[:i], n, true
 }
 
 // steps is the job's effective step count.
@@ -113,6 +173,33 @@ func (j JobSpec) Check(i int) error {
 	if j.Steps < 0 {
 		return fmt.Errorf("place: job %d (%s) has negative step count %d", i, j.label(i), j.Steps)
 	}
+	if math.IsNaN(j.Weight) || math.IsInf(j.Weight, 0) {
+		return fmt.Errorf("place: job %d (%s) has non-finite weight %v", i, j.label(i), j.Weight)
+	}
+	if j.Weight < 0 {
+		// Zero means "default 1" everywhere; only genuinely negative
+		// weights are nonsense.
+		return fmt.Errorf("place: job %d (%s) has negative weight %v", i, j.label(i), j.Weight)
+	}
+	switch j.Class {
+	case "", ClassTraining, ClassInference:
+	default:
+		return fmt.Errorf("place: job %d (%s) has unknown class %q (have %v)", i, j.label(i), j.Class, Classes())
+	}
+	if math.IsNaN(j.SLONs) || math.IsInf(j.SLONs, 0) {
+		return fmt.Errorf("place: job %d (%s) has non-finite SLO %v", i, j.label(i), j.SLONs)
+	}
+	if j.SLONs < 0 {
+		return fmt.Errorf("place: job %d (%s) has negative SLO %v", i, j.label(i), j.SLONs)
+	}
+	if j.SLONs > 0 && !j.Inference() {
+		return fmt.Errorf("place: job %d (%s) is %s-class but carries a per-request SLO; use DeadlineNs",
+			i, j.label(i), j.EffectiveClass())
+	}
+	if j.Inference() && j.Steps > 1 {
+		return fmt.Errorf("place: job %d (%s) is an inference request but has %d steps; a request is one forward step",
+			i, j.label(i), j.Steps)
+	}
 	return nil
 }
 
@@ -149,6 +236,28 @@ func (w Workload) Canonical() (Workload, error) {
 		specs[i] = j
 	}
 	return specs, nil
+}
+
+// Merge interleaves two workloads into one arrival-ordered stream — how a
+// mixed-tenant run joins a training workload with a SyntheticInference
+// request stream. The merge is stable: jobs arriving at the same instant
+// keep their order, with the receiver's first. Both inputs must already be
+// arrival-sorted (every generator's output is); neither is modified.
+func (w Workload) Merge(other Workload) Workload {
+	out := make(Workload, 0, len(w)+len(other))
+	i, j := 0, 0
+	for i < len(w) && j < len(other) {
+		if other[j].ArrivalNs < w[i].ArrivalNs {
+			out = append(out, other[j])
+			j++
+		} else {
+			out = append(out, w[i])
+			i++
+		}
+	}
+	out = append(out, w[i:]...)
+	out = append(out, other[j:]...)
+	return out
 }
 
 // Cluster describes the hardware the workload is placed onto: a fleet of
@@ -365,6 +474,17 @@ type PlacedJob struct {
 	Migrations   int
 	Path         string
 	DisruptionNs float64
+	// Class is the job's effective workload class (ClassTraining or
+	// ClassInference). SLONs echoes an inference request's latency
+	// objective; SLOMet reports FinishNs <= ArrivalNs+SLONs for requests
+	// that have one (false when SLONs is 0). Batched is the dynamic batch
+	// size the request executed in — the number of same-model requests its
+	// wave slot served together, 1 when it ran alone and 0 for training
+	// jobs, which never batch.
+	Class   string
+	SLONs   float64
+	SLOMet  bool
+	Batched int
 }
 
 // JCTNs is the job completion time: finish minus arrival.
@@ -421,6 +541,24 @@ type Result struct {
 	Preemptions    int
 	Migrations     int
 	DisruptionNs   float64
+	// Per-class aggregates, all zero in a training-only run (whose report
+	// is byte-identical to a run built before the inference class existed).
+	// SLOMet / SLOTotal count the inference requests that finished within
+	// their objective, out of all requests that had one; SLOAttainment is
+	// their ratio (0 when no request carried an SLO). GoodputPerSec is
+	// SLO-met requests per wall second of makespan — the serving throughput
+	// that actually arrived on time.
+	TrainingJobs  int
+	InferenceJobs int
+	SLOMet        int
+	SLOTotal      int
+	SLOAttainment float64
+	GoodputPerSec float64
+	// Per-class JCT percentiles (nearest-rank), zero for an absent class.
+	TrainP50JCTNs float64
+	TrainP99JCTNs float64
+	InferP50JCTNs float64
+	InferP99JCTNs float64
 	// Jobs holds per-job outcomes in workload (input) order.
 	Jobs []PlacedJob
 	// NodeStats holds per-node usage in node-index order.
@@ -447,6 +585,7 @@ func jainIndex(xs []float64) float64 {
 func (r *Result) finalize() {
 	var jctSum, queueSum float64
 	rates := make([]float64, 0, len(r.Jobs))
+	var trainJCT, inferJCT []float64
 	for _, p := range r.Jobs {
 		jct := p.JCTNs()
 		jctSum += jct
@@ -466,6 +605,19 @@ func (r *Result) finalize() {
 				r.DeadlinesMet++
 			}
 		}
+		if p.Class == ClassInference {
+			r.InferenceJobs++
+			inferJCT = append(inferJCT, jct)
+			if p.SLONs > 0 {
+				r.SLOTotal++
+				if p.SLOMet {
+					r.SLOMet++
+				}
+			}
+		} else {
+			r.TrainingJobs++
+			trainJCT = append(trainJCT, jct)
+		}
 		r.Preemptions += p.Preemptions
 		r.Migrations += p.Migrations
 		r.DisruptionNs += p.DisruptionNs
@@ -474,12 +626,44 @@ func (r *Result) finalize() {
 		r.MeanJCTNs = jctSum / n
 		r.MeanQueueNs = queueSum / n
 	}
+	if r.SLOTotal > 0 {
+		r.SLOAttainment = float64(r.SLOMet) / float64(r.SLOTotal)
+	}
+	if r.MakespanNs > 0 {
+		r.GoodputPerSec = float64(r.SLOMet) / (r.MakespanNs / 1e9)
+	}
+	sort.Float64s(trainJCT)
+	sort.Float64s(inferJCT)
+	r.TrainP50JCTNs = nearestRankNs(trainJCT, 0.50)
+	r.TrainP99JCTNs = nearestRankNs(trainJCT, 0.99)
+	r.InferP50JCTNs = nearestRankNs(inferJCT, 0.50)
+	r.InferP99JCTNs = nearestRankNs(inferJCT, 0.99)
 	r.FairnessIndex = jainIndex(rates)
 	for i := range r.NodeStats {
 		if r.MakespanNs > 0 {
 			r.NodeStats[i].Utilization = r.NodeStats[i].BusyNs / r.MakespanNs
 		}
 	}
+}
+
+// nearestRankNs is the nearest-rank quantile over a sorted sample, 0 when
+// the sample is empty — the rule QueuePercentileNs applies, factored out
+// for the per-class JCT percentiles.
+func nearestRankNs(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	k := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(sorted) {
+		k = len(sorted) - 1
+	}
+	return sorted[k]
 }
 
 // QueuePercentileNs returns the p-quantile (p in [0,1], nearest-rank) of
@@ -536,6 +720,7 @@ func (r *Result) Render() string {
 		}
 	}
 	preempted := r.Preemptions > 0
+	serving := r.InferenceJobs > 0
 	pathW := len("path")
 	for _, p := range r.Jobs {
 		if len(p.Path) > pathW {
@@ -548,6 +733,9 @@ func (r *Result) Render() string {
 	fmt.Fprintf(&b, "  %-*s  %-*s  %*s  %-3s  %*s  %10s  %10s  %10s  %10s  %8s  %8s",
 		nameW, "job", modelW, "model", nodeW, "node", "hw", waveW, "wave",
 		"arrive(ms)", "queue(ms)", "corun(ms)", "jct(ms)", "slowdown", "deadline")
+	if serving {
+		fmt.Fprintf(&b, "  %-5s  %5s  %4s", "class", "batch", "slo")
+	}
 	if preempted {
 		fmt.Fprintf(&b, "  %3s  %-*s", "pre", pathW, "path")
 	}
@@ -564,6 +752,21 @@ func (r *Result) Render() string {
 		fmt.Fprintf(&b, "  %-*s  %-*s  %*d  %-3s  %*d  %10.3f  %10.3f  %10.3f  %10.3f  %7.2fx  %8s",
 			nameW, p.Name, modelW, p.Model, nodeW, p.Node, p.Kind, waveW, p.Wave,
 			p.ArrivalNs/1e6, p.QueueNs/1e6, p.CoRunNs/1e6, p.JCTNs()/1e6, p.Slowdown, deadline)
+		if serving {
+			class, batch, slo := "train", "-", "-"
+			if p.Class == ClassInference {
+				class = "infer"
+				batch = strconv.Itoa(p.Batched)
+				if p.SLONs > 0 {
+					if p.SLOMet {
+						slo = "met"
+					} else {
+						slo = "MISS"
+					}
+				}
+			}
+			fmt.Fprintf(&b, "  %-5s  %5s  %4s", class, batch, slo)
+		}
 		if preempted {
 			path := p.Path
 			if path == "" {
@@ -582,6 +785,11 @@ func (r *Result) Render() string {
 		r.MakespanNs/1e6, r.MeanJCTNs/1e6, r.MeanQueueNs/1e6, r.FairnessIndex)
 	if r.DeadlinesTotal > 0 {
 		fmt.Fprintf(&b, ", deadlines %d/%d met", r.DeadlinesMet, r.DeadlinesTotal)
+	}
+	if serving {
+		fmt.Fprintf(&b, "\ninference: %d requests (%d training jobs), SLO %d/%d met (%.1f%% attainment), jct p50 %.3f ms p99 %.3f ms, goodput %.1f req/s",
+			r.InferenceJobs, r.TrainingJobs, r.SLOMet, r.SLOTotal, 100*r.SLOAttainment,
+			r.InferP50JCTNs/1e6, r.InferP99JCTNs/1e6, r.GoodputPerSec)
 	}
 	if preempted {
 		fmt.Fprintf(&b, ", preemptions %d (%d migrated, %d trigger firings), disruption %.3f ms",

@@ -103,6 +103,96 @@ func SyntheticSteps(n int, seed uint64, models []string, meanGapNs float64, maxS
 	return w, nil
 }
 
+// Inference-generator shape constants: the burst phase of the two-phase
+// Markov-modulated arrival process runs burstRateFactor times hotter than
+// the calm phase, phases last around phaseLenRequests requests each, and a
+// request without an explicit SLO gets defaultSLOGapFactor mean calm gaps.
+const (
+	burstRateFactor     = 10
+	phaseLenRequests    = 32
+	defaultSLOGapFactor = 50
+)
+
+// SyntheticInference builds a deterministic open-loop serving workload: n
+// single-step inference requests over the given models (empty means the
+// paper's four), arriving through a two-phase burst process — calm phases
+// draw inter-arrival gaps uniform in [0.5, 1.5) × meanGapNs, burst phases
+// the same shape at burstRateFactor× the rate, with phase lengths drawn
+// around phaseLenRequests requests from the same splitmix64 stream (an
+// MMPP-flavoured arrival pattern without transcendental math). Every
+// request carries Class = ClassInference, Steps = 1, a priority above the
+// training generator's 0-2 cycle, and the per-request latency SLO sloNs
+// (non-positive means defaultSLOGapFactor mean calm gaps). The same (n,
+// seed, models, meanGapNs, sloNs) always yields the same workload on any
+// platform. Interleave it with Synthetic via Workload.Merge to build the
+// mixed-tenant runs the serving experiments use.
+func SyntheticInference(n int, seed uint64, models []string, meanGapNs, sloNs float64) (Workload, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("place: synthetic inference workload needs at least one request, got %d", n)
+	}
+	if len(models) == 0 {
+		models = nn.Names()
+	}
+	canon := make([]string, len(models))
+	for i, name := range models {
+		c, err := nn.Resolve(name)
+		if err != nil {
+			return nil, fmt.Errorf("place: synthetic inference workload: %w", err)
+		}
+		canon[i] = c
+	}
+	if meanGapNs <= 0 {
+		meanGapNs = defaultGapNs
+	}
+	if sloNs <= 0 {
+		sloNs = defaultSLOGapFactor * meanGapNs
+	}
+
+	state := seed ^ 0x1F83D9ABFB41BD6B // independent of the training streams
+	next := func() float64 {           // uniform [0,1)
+		return float64(splitmix64(&state)>>11) / (1 << 53)
+	}
+
+	w := make(Workload, n)
+	arrival := 0.0
+	burst := false
+	phaseLeft := 1 + int(splitmix64(&state)%uint64(2*phaseLenRequests))
+	for i := range w {
+		if i > 0 {
+			gap := meanGapNs * (0.5 + next())
+			if burst {
+				gap /= burstRateFactor
+			}
+			arrival += gap
+		}
+		if phaseLeft--; phaseLeft <= 0 {
+			burst = !burst
+			phaseLeft = 1 + int(splitmix64(&state)%uint64(2*phaseLenRequests))
+		}
+		w[i] = JobSpec{
+			Name:      fmt.Sprintf("inf-%s#%d", canon[i%len(canon)], i),
+			Model:     canon[i%len(canon)],
+			Class:     ClassInference,
+			ArrivalNs: arrival,
+			Priority:  3, // above Synthetic's 0-2 training cycle
+			Weight:    1,
+			Steps:     1,
+			SLONs:     sloNs,
+		}
+	}
+	return w, nil
+}
+
+// MustSyntheticInference is SyntheticInference that panics on invalid
+// arguments; intended for benchmark grids built from known-good constants.
+func MustSyntheticInference(n int, seed uint64, models []string, meanGapNs, sloNs float64) Workload {
+	w, err := SyntheticInference(n, seed, models, meanGapNs, sloNs)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 // MustSynthetic is Synthetic that panics on invalid arguments; intended for
 // default grids built from known-good constants.
 func MustSynthetic(n int, seed uint64, models []string, meanGapNs float64) Workload {

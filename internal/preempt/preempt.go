@@ -110,6 +110,12 @@ type Arrival struct {
 	Node    int
 	WorkNs  float64
 	ReadyNs float64
+	// SLODeadlineNs is an inference request's absolute latency deadline
+	// (arrival + per-request SLO) on the cluster clock; 0 for training
+	// jobs and requests without an SLO. It is what the slo-at-risk trigger
+	// keys on, so serving traffic preempts training instead of queueing
+	// behind it.
+	SLODeadlineNs float64
 }
 
 // Trigger decides, at a cluster event, which running waves to cut short at
@@ -183,6 +189,36 @@ func (DeadlineAtRisk) Fire(a Arrival, _ float64, nodes []NodeSnapshot) []int {
 	return []int{a.Node}
 }
 
+// SLOAtRisk is DeadlineAtRisk for the inference class: it cuts the wave on
+// the arrival's node when a serving request's latency objective cannot
+// survive waiting for the wave to drain but is still reachable from the
+// wave's next step boundary. Training arrivals carry no SLO deadline and
+// never fire it, so a training-only run behaves as if the trigger were not
+// armed.
+type SLOAtRisk struct{}
+
+// Name implements Trigger.
+func (SLOAtRisk) Name() string { return "slo-at-risk" }
+
+// Fire implements Trigger.
+func (SLOAtRisk) Fire(a Arrival, _ float64, nodes []NodeSnapshot) []int {
+	if a.SLODeadlineNs <= 0 {
+		return nil
+	}
+	n := snapshotFor(a.Node, nodes)
+	if n == nil || !n.InWave || a.ReadyNs > n.RoundEndNs {
+		return nil
+	}
+	start := n.DrainNs
+	if a.ReadyNs > start {
+		start = a.ReadyNs
+	}
+	if start+a.WorkNs <= a.SLODeadlineNs || n.RoundEndNs+a.WorkNs > a.SLODeadlineNs {
+		return nil
+	}
+	return []int{a.Node}
+}
+
 // LoadImbalance cuts the wave on the arrival's node when the wave still
 // has whole rounds to run past its next step boundary while some other
 // node sits idle: the cut releases the wave's tail as checkpoints the
@@ -216,19 +252,23 @@ func snapshotFor(node int, nodes []NodeSnapshot) *NodeSnapshot {
 }
 
 // Triggers lists the built-in trigger names in ParseTriggers' accepted
-// spelling.
+// spelling. Note that adding a trigger here widens what "all" arms — runs
+// pinning byte-identical output across versions should name their triggers
+// explicitly.
 func Triggers() []string {
-	return []string{PriorityArrival{}.Name(), DeadlineAtRisk{}.Name(), LoadImbalance{}.Name()}
+	return []string{PriorityArrival{}.Name(), DeadlineAtRisk{}.Name(), SLOAtRisk{}.Name(), LoadImbalance{}.Name()}
 }
 
-// NewTrigger resolves a trigger name ("priority", "deadline", "load") to
-// its implementation.
+// NewTrigger resolves a trigger name ("priority", "deadline",
+// "slo-at-risk", "load") to its implementation.
 func NewTrigger(name string) (Trigger, error) {
 	switch name {
 	case "priority":
 		return PriorityArrival{}, nil
 	case "deadline":
 		return DeadlineAtRisk{}, nil
+	case "slo-at-risk":
+		return SLOAtRisk{}, nil
 	case "load":
 		return LoadImbalance{}, nil
 	default:

@@ -177,3 +177,45 @@ func TestMigratorCapacityAndTies(t *testing.T) {
 		t.Errorf("two co-runners estimate %v not above idle %v", est2, est0)
 	}
 }
+
+func TestSLOAtRiskFiresOnlyWhenCutHelps(t *testing.T) {
+	nodes := []NodeSnapshot{wave(0, 20, 100, ResidentJob{Name: "bg"})}
+	tr := SLOAtRisk{}
+	if tr.Name() != "slo-at-risk" {
+		t.Fatalf("trigger name %q", tr.Name())
+	}
+	// Waiting for the drain (100) + work (30) = 130 blows the 60 SLO
+	// deadline; cutting at the boundary (20) + 30 = 50 meets it.
+	a := Arrival{Node: 0, SLODeadlineNs: 60, WorkNs: 30, ReadyNs: 5}
+	if got := tr.Fire(a, 5, nodes); len(got) != 1 || got[0] != 0 {
+		t.Errorf("at-risk request fired %v, want [0]", got)
+	}
+	// SLO generous enough to survive the drain: no cut.
+	a.SLODeadlineNs = 200
+	if got := tr.Fire(a, 5, nodes); got != nil {
+		t.Errorf("safe request fired %v, want none", got)
+	}
+	// SLO unreachable even after a cut: no point preempting.
+	a.SLODeadlineNs = 40
+	if got := tr.Fire(a, 5, nodes); got != nil {
+		t.Errorf("hopeless request fired %v, want none", got)
+	}
+	// Training arrivals carry no SLO deadline and never fire it.
+	if got := tr.Fire(Arrival{Node: 0, WorkNs: 30, DeadlineNs: 60}, 5, nodes); got != nil {
+		t.Errorf("training arrival fired %v, want none", got)
+	}
+	// Staging past the boundary: the request cannot join the relaunch.
+	a = Arrival{Node: 0, SLODeadlineNs: 60, WorkNs: 30, ReadyNs: 25}
+	if got := tr.Fire(a, 5, nodes); got != nil {
+		t.Errorf("late-staging request fired %v, want none", got)
+	}
+	// No wave in flight, or an unknown node: nothing to cut.
+	idle := []NodeSnapshot{{Index: 0}}
+	a = Arrival{Node: 0, SLODeadlineNs: 60, WorkNs: 30}
+	if got := tr.Fire(a, 5, idle); got != nil {
+		t.Errorf("idle-node request fired %v, want none", got)
+	}
+	if got := tr.Fire(Arrival{Node: 9, SLODeadlineNs: 60, WorkNs: 30}, 5, nodes); got != nil {
+		t.Errorf("unknown-node request fired %v, want none", got)
+	}
+}

@@ -247,3 +247,44 @@ func TestClusterGridEngineAxis(t *testing.T) {
 		t.Error("bogus engine name accepted by the sweep")
 	}
 }
+
+// TestClusterGridMixedServingDeterminism: a mixed training+inference
+// workload — dynamic batching, latency-class admission and the slo-at-risk
+// trigger all active — sweeps across both engines and renders
+// byte-identically at parallelism 1 and 8, with per-class aggregates intact
+// in every cell.
+func TestClusterGridMixedServingDeterminism(t *testing.T) {
+	training := place.MustSynthetic(3, 3, []string{nn.LSTM, nn.DCGAN}, 1e6)
+	serving := place.MustSyntheticInference(12, 5, []string{nn.DCGAN}, 0.5e6, 60e6)
+	g := ClusterGrid{
+		Workloads: []NamedWorkload{{Name: "mixed", Jobs: training.Merge(serving)}},
+		Policies:  []string{"spread"},
+		Sizes:     []int{1},
+		GPUs:      []int{1},
+		Preempts:  []string{"off", "slo-at-risk"},
+		Engines:   []string{"batch", "pipeline"},
+	}
+	serial, err := RunClusterGrid(context.Background(), g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunClusterGrid(context.Background(), g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 4 || len(parallel) != 4 {
+		t.Fatalf("got %d serial / %d parallel cells, want 4", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if s, p := serial[i].Result.Render(), parallel[i].Result.Render(); s != p {
+			t.Errorf("mixed cell %d reports differ between serial and parallel sweeps:\n%s\nvs\n%s", i, s, p)
+		}
+		r := serial[i].Result
+		if r.InferenceJobs != 12 || r.TrainingJobs != 3 {
+			t.Errorf("cell %d class split %d/%d, want 12/3", i, r.InferenceJobs, r.TrainingJobs)
+		}
+		if r.SLOAttainment < 0 || r.SLOAttainment > 1 {
+			t.Errorf("cell %d attainment %v outside [0,1]", i, r.SLOAttainment)
+		}
+	}
+}

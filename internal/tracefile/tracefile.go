@@ -196,12 +196,17 @@ func (t *Reader) Next() (place.JobSpec, error) {
 			return place.JobSpec{}, io.EOF
 		}
 		if err != nil {
+			// A CSV-level malformed line is still a data row: keep the row
+			// counter in step (on the skip path and for callers that resume
+			// past the error) so later rowErr messages stay 1-based and
+			// exact.
+			t.row++
 			if t.opts.SkipMalformed {
 				t.stats.Rows++
 				t.stats.Skipped++
 				continue
 			}
-			return place.JobSpec{}, fmt.Errorf("tracefile: %w", err)
+			return place.JobSpec{}, fmt.Errorf("tracefile: row %d: %w", t.row, err)
 		}
 		t.row++
 		t.stats.Rows++

@@ -159,6 +159,48 @@ func TestMalformedRows(t *testing.T) {
 	}
 }
 
+// TestRowNumberAfterCSVLevelSkip: a CSV-level malformed line (a bare
+// quote the csv layer itself rejects) advances the 1-based row counter on
+// both the SkipMalformed path and the resumable error path, so a later
+// cell-level rowErr reports the true row number instead of an off-by-one.
+func TestRowNumberAfterCSVLevelSkip(t *testing.T) {
+	bad := "model,submit,priority\n" +
+		"lstm,0,0\n" + // row 1: good
+		"lstm,1,b\"ad\n" + // row 2: CSV-level bare quote
+		"lstm,2,high\n" + // row 3: non-integer priority
+		"lstm,3,1\n" // row 4: good
+	r, err := NewReader(strings.NewReader(bad), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("good row 1: %v", err)
+	}
+	if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "row 2") {
+		t.Errorf("csv-level error missing its row number: %v", err)
+	}
+	// Resuming past the csv-level error, the cell-level error must name
+	// row 3 — before the fix the counter lagged and reported row 2 again.
+	if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "row 3") {
+		t.Errorf("cell-level error after a csv-level row reports the wrong row: %v", err)
+	}
+
+	r, err = NewReader(strings.NewReader(bad), Options{SkipMalformed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 {
+		t.Fatalf("got %d jobs after skipping, want 2", len(w))
+	}
+	if s := r.Stats(); s.Rows != 4 || s.Jobs != 2 || s.Skipped != 2 {
+		t.Errorf("stats %+v, want rows=4 jobs=2 skipped=2", s)
+	}
+}
+
 // TestOutOfOrderAndZeroDuration: regressions are counted (not reordered —
 // that is the pipeline admission stage's job), pre-epoch rows clamp to the
 // trace start, and zero/absent step counts take the default.

@@ -341,6 +341,47 @@ func SyntheticStepsWorkload(n int, seed uint64, models []string, meanGapNs float
 	return place.SyntheticSteps(n, seed, models, meanGapNs, maxSteps)
 }
 
+// Workload classes a ClusterJob may carry: batch training (the default
+// when Class is empty) and latency-sensitive inference serving. An
+// inference job is one forward step of its model's serving graph, carries
+// an optional per-request SLO (ClusterJob.SLONs), jumps training in wave
+// admission, and folds with same-model requests into dynamic batches.
+const (
+	ClassTraining  = place.ClassTraining
+	ClassInference = place.ClassInference
+)
+
+// GPU sharing modes a GPUDevice schedules concurrent work under:
+// time-sliced CUDA streams (the default) or MPS-style spatial sharing,
+// which trades lower idle interference for steeper memory-pressure costs.
+const (
+	SharingStreams = gpu.SharingStreams
+	SharingMPS     = gpu.SharingMPS
+)
+
+// SyntheticInferenceWorkload builds a deterministic open-loop serving
+// stream: n single-step inference requests over the given models (nil
+// means all four paper workloads), arriving through a two-phase bursty
+// process around the mean calm gap (<= 0 means 2 ms), each carrying the
+// per-request latency SLO sloNs (<= 0 picks a default of 50 mean gaps).
+// Merge it with a training workload (ClusterWorkload.Merge) for the
+// mixed-tenant runs the serving experiments use.
+func SyntheticInferenceWorkload(n int, seed uint64, models []string, meanGapNs, sloNs float64) (ClusterWorkload, error) {
+	return place.SyntheticInference(n, seed, models, meanGapNs, sloNs)
+}
+
+// BuildInferenceModel constructs the forward-only serving graph of the
+// named workload at the given per-request batch size — the tiny graphs the
+// inference job class schedules at high rate. Names accept the short
+// spellings of ResolveModel.
+func BuildInferenceModel(name string, batch int) (*Model, error) {
+	canon, err := nn.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return nn.BuildInference(canon, batch)
+}
+
 // PreemptCheckpoint captures a preempted job's progress at a step
 // boundary: steps completed, plus the parameter/optimizer state a
 // migration must ship (see preempt.Checkpoint).
@@ -353,8 +394,10 @@ type PreemptTrigger = preempt.Trigger
 // PreemptionTriggers lists the built-in preemption trigger names accepted
 // in trigger specs: "priority" (a high-priority arrival never waits out a
 // lower-priority gang), "deadline" (cut exactly when it converts a
-// predicted deadline miss into a hit) and "load" (spill a wave's tail to
-// an idle node). Specs join names with "+", or use "all"/"none"/"off".
+// predicted deadline miss into a hit), "slo-at-risk" (the deadline rule
+// applied to an inference request's latency SLO, so serving traffic
+// preempts training) and "load" (spill a wave's tail to an idle node).
+// Specs join names with "+", or use "all"/"none"/"off".
 func PreemptionTriggers() []string { return preempt.Triggers() }
 
 // RunPreemptiveCluster is PlaceJobs with preemption triggers armed:

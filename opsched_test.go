@@ -285,7 +285,7 @@ func TestFacadeCoTrain(t *testing.T) {
 // preempts without losing any job.
 func TestFacadePreemptiveCluster(t *testing.T) {
 	names := PreemptionTriggers()
-	if len(names) != 3 || names[0] != "priority" {
+	if len(names) != 4 || names[0] != "priority" || names[2] != "slo-at-risk" {
 		t.Fatalf("PreemptionTriggers() = %v", names)
 	}
 	workload, err := SyntheticStepsWorkload(5, 1, []string{"lstm", "dcgan"}, 1e6, 3)
@@ -427,5 +427,55 @@ func TestFacadeSweepHelpers(t *testing.T) {
 	hits, misses := ProfileCacheStats()
 	if hits < 0 || misses < 0 {
 		t.Fatalf("cache stats went negative: %d/%d", hits, misses)
+	}
+}
+
+// TestFacadeInferenceServing: the serving facade — inference workload
+// generation, forward-only model building, sharing-mode constants, and a
+// mixed-tenant run reporting per-class SLO metrics end to end.
+func TestFacadeInferenceServing(t *testing.T) {
+	requests, err := SyntheticInferenceWorkload(8, 3, []string{"dcgan"}, 1e6, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(requests) != 8 {
+		t.Fatalf("got %d requests, want 8", len(requests))
+	}
+	for i, r := range requests {
+		if r.Class != ClassInference || r.SLONs != 50e6 {
+			t.Fatalf("request %d is %+v, want inference with 50 ms SLO", i, r)
+		}
+	}
+	if _, err := SyntheticInferenceWorkload(0, 3, nil, 1e6, 1e6); err == nil {
+		t.Error("n=0 accepted")
+	}
+
+	m, err := BuildInferenceModel("dcgan", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Params != 0 {
+		t.Errorf("serving graph records %d optimizer params, want 0", m.Params)
+	}
+	if _, err := BuildInferenceModel("vgg", 4); err == nil {
+		t.Error("unknown model accepted")
+	}
+
+	if SharingStreams != "streams" || SharingMPS != "mps" {
+		t.Errorf("sharing constants %q/%q", SharingStreams, SharingMPS)
+	}
+
+	training := ClusterWorkload{
+		{Name: "bg", Model: "lstm", ArrivalNs: 0, Steps: 2},
+	}
+	res, err := PlaceJobs(training.Merge(requests), Cluster{Nodes: 1}, PlaceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InferenceJobs != 8 || res.TrainingJobs != 1 {
+		t.Fatalf("class split %d/%d, want 8/1", res.InferenceJobs, res.TrainingJobs)
+	}
+	if res.SLOAttainment < 0 || res.SLOAttainment > 1 {
+		t.Errorf("attainment %v outside [0,1]", res.SLOAttainment)
 	}
 }
