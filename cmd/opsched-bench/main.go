@@ -35,6 +35,12 @@
 //	opsched-bench -cluster 8 -gpus 2 -inference 64 -share mps
 //	                              # GPU nodes share via MPS-style spatial
 //	                              # partitioning instead of CUDA streams
+//	opsched-bench -cluster 100000 -gpus 10000 -workers 8
+//	                              # engine-internal parallelism: 8 workers
+//	                              # per cell (0 = GOMAXPROCS, 1 = serial);
+//	                              # output is byte-identical at any count
+//	opsched-bench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz -mutexprofile mutex.pb.gz
+//	                              # write pprof profiles alongside any mode
 //
 // Reports print to stdout in request order and are byte-identical whatever
 // -parallel is; per-experiment wall-clock timings go to stderr (or into the
@@ -49,6 +55,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -185,7 +192,18 @@ func main() {
 	sloMs := flag.Float64("slo", 0, "per-request latency SLO of the -inference stream, in ms (0 = 50 calm gaps)")
 	shareMode := flag.String("share", "", `GPU sharing mode for -cluster fleets: "streams" (default) or "mps"`)
 	engineSpec := flag.String("engine", "batch", `execution engines for -cluster, comma-separated: "batch" (closed-workload engine), "pipeline" (streaming admission→placement→execution→metrics pipeline); both render byte-identically`)
+	workers := flag.Int("workers", 0, "engine-internal worker count per -cluster cell: 0 = auto (GOMAXPROCS), 1 = fully serial; output is byte-identical at any count")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile, *mutexprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		fmt.Println(strings.Join(opsched.Experiments(), "\n"))
@@ -203,7 +221,7 @@ func main() {
 		inf := inferenceSpec{n: *inferenceN, gapMs: *infGapMs, sloMs: *sloMs}
 		runCluster(ctx, *clusterN, *policy, *nodesSpec, *gpusSpec, *models, *arbiter,
 			*seed, *gapMs, *steps, *preemptSpec, *triggerSpec, *engineSpec, inf, *shareMode,
-			*parallel, *jsonOut)
+			*workers, *parallel, *jsonOut)
 		return
 	}
 
@@ -344,7 +362,7 @@ type inferenceSpec struct {
 // mixed stream sweeps the same grid. Same determinism contract as the
 // other modes — stdout is byte-identical at any -parallel, timings go to
 // stderr or the JSON payload.
-func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, steps int, preemptSpec, triggerSpec, engineSpec string, inf inferenceSpec, shareMode string, parallel int, jsonOut bool) {
+func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, steps int, preemptSpec, triggerSpec, engineSpec string, inf inferenceSpec, shareMode string, workers, parallel int, jsonOut bool) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
 		os.Exit(1)
@@ -442,6 +460,7 @@ func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, mod
 		Preempts:  preempts,
 		Engines:   engines,
 		Arbiter:   arb,
+		Workers:   workers,
 	}
 	if s := strings.TrimSpace(shareMode); s != "" && s != opsched.SharingStreams {
 		// A non-default sharing mode needs its own device descriptor; the
@@ -547,6 +566,59 @@ func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, par
 	}
 	fmt.Fprintf(os.Stderr, "opsched-bench: total %.2fs, parallel=%d, profile cache %d hits / %d misses\n",
 		total.Seconds(), parallel, hits, misses)
+}
+
+// startProfiles arms the requested pprof collectors and returns the
+// teardown that flushes them; profiles are written only on a clean exit
+// (error paths os.Exit before the defer runs, which is fine — a failed run
+// has nothing worth profiling).
+func startProfiles(cpu, mem, mutex string) (stop func(), err error) {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+		stops = append(stops, func() {
+			writeProfile("mutex", mutex)
+		})
+	}
+	if mem != "" {
+		stops = append(stops, func() {
+			runtime.GC() // settle live objects so the heap profile is sharp
+			writeProfile("heap", mem)
+		})
+	}
+	return func() {
+		for _, s := range stops {
+			s()
+		}
+	}, nil
+}
+
+// writeProfile flushes one named runtime profile, reporting (not failing)
+// on error — the benchmark results already printed.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "opsched-bench: %s profile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "opsched-bench: %s profile: %v\n", name, err)
+	}
 }
 
 // engineName spells a cell's engine, defaulting the historical empty value.

@@ -34,6 +34,9 @@
 //	                SLO attainment, p50/p99) once any inference request
 //	                has finished
 //	POST /drain     close the stream and drain gracefully
+//	GET  /debug/pprof/  net/http/pprof profiling handlers (CPU profile,
+//	                heap, mutex, goroutine, execution trace) for live
+//	                inspection of a running service
 //
 // Shutdown is an ordered drain, never an abort: when the trace ends (and
 // no -http keeps the stream open), or on the first SIGINT/SIGTERM, or on
@@ -52,6 +55,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -87,6 +91,7 @@ func run(args []string, stdin *os.File, stdout io.Writer) error {
 	policy := fs.String("policy", "", "placement policy (default spread)")
 	arbiter := fs.String("arbiter", "", "per-node cross-job arbiter (default fair)")
 	preempt := fs.String("preempt", "", `preemption trigger spec ("all", "priority+deadline", ...; empty = off)`)
+	workers := fs.Int("workers", 0, "engine-internal worker count: 0 = auto (GOMAXPROCS), 1 = fully serial; reports are byte-identical at any count")
 	snapEvery := fs.Int("snap-every", 10, "print a live snapshot to stderr every N completions (0 disables)")
 	buffer := fs.Int("buffer", 0, "inter-stage channel depth (0 = default)")
 	tick := fs.Duration("tick", 500*time.Millisecond, "virtual-clock tick interval in -http mode (retires work between submissions)")
@@ -99,7 +104,7 @@ func run(args []string, stdin *os.File, stdout io.Writer) error {
 
 	cfg := opsched.PipelineConfig{
 		Cluster: opsched.Cluster{Nodes: *nodes, GPUs: *gpus},
-		Options: opsched.PlaceOptions{Policy: *policy, Arbiter: *arbiter, Preempt: *preempt},
+		Options: opsched.PlaceOptions{Policy: *policy, Arbiter: *arbiter, Preempt: *preempt, Workers: *workers},
 		Buffer:  *buffer,
 	}
 	if *snapEvery > 0 {
@@ -223,12 +228,20 @@ func (s *server) nowNs() float64 { return float64(time.Since(s.start).Nanosecond
 
 func (s *server) tick() error { return s.p.Tick(s.nowNs()) }
 
-// mux routes the service's three endpoints.
+// mux routes the service's three endpoints, plus the net/http/pprof
+// profiling handlers under /debug/pprof/ — profiling a live scheduling
+// service is how the engine-parallelism work was measured, so the hooks
+// stay on permanently (they cost nothing until scraped).
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", method(http.MethodPost, s.handleSubmit))
 	mux.HandleFunc("/snapshot", method(http.MethodGet, s.handleSnapshot))
 	mux.HandleFunc("/drain", method(http.MethodPost, s.handleDrain))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"opsched/internal/graph"
 )
@@ -35,23 +36,50 @@ const (
 // Names lists the four workloads in the paper's order.
 func Names() []string { return []string{ResNet50, DCGAN, InceptionV3, LSTM} }
 
+// resolveCanon holds the canonical spellings already seen, keyed by the
+// exact user-typed string. Resolve sits on the per-job admission path of
+// trace replay, where a handful of spellings repeat millions of times —
+// the fold-and-switch below is only ever done once per distinct spelling.
+var resolveCanon sync.Map // string -> string
+
+// foldPunct strips '-', '_' and ' ' before lowercasing, without the
+// strings.Replacer a literal-allocating call site would rebuild per call.
+func foldPunct(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		switch c := name[i]; c {
+		case '-', '_', ' ':
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return strings.ToLower(b.String())
+}
+
 // Resolve maps a user-typed workload name to its canonical spelling,
 // accepting the paper's names case-insensitively with punctuation dropped
 // ("resnet", "resnet-50", "inceptionv3", "LSTM", ...).
 func Resolve(name string) (string, error) {
-	key := strings.ToLower(strings.NewReplacer("-", "", "_", "", " ", "").Replace(name))
+	if c, ok := resolveCanon.Load(name); ok {
+		return c.(string), nil
+	}
+	key := foldPunct(name)
+	var canon string
 	switch key {
 	case "resnet", "resnet50":
-		return ResNet50, nil
+		canon = ResNet50
 	case "dcgan":
-		return DCGAN, nil
+		canon = DCGAN
 	case "inception", "inceptionv3":
-		return InceptionV3, nil
+		canon = InceptionV3
 	case "lstm":
-		return LSTM, nil
+		canon = LSTM
 	default:
 		return "", fmt.Errorf("nn: unknown model %q (have %v)", name, Names())
 	}
+	resolveCanon.Store(strings.Clone(name), canon)
+	return canon, nil
 }
 
 // Build constructs the named workload with its paper batch size

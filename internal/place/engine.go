@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"opsched/internal/cluster"
 	"opsched/internal/core"
@@ -195,6 +196,40 @@ type Engine struct {
 	completed int
 	arrivalNs float64 // admission high-water mark: arrivals must not regress
 
+	// workers bounds the engine's parallelism (Options.Workers after
+	// defaulting); 1 is the fully serial engine. noMemo mirrors
+	// Options.NoWaveMemo — the speculative prefetcher is pointless without
+	// the cache to publish its results through.
+	workers int
+	noMemo  bool
+
+	// Runtime-indexed hot-path tables: rtIdx maps each node to its
+	// runtime's position in uniqueRts; rtKind/rtCap/rtAlpha cache the
+	// per-runtime constants so the placement scan never makes an
+	// interface call per node; rtWorkBuf is per-pick scratch holding the
+	// arriving job's predicted work per distinct runtime.
+	rtIdx     []int
+	rtKind    []string
+	rtCap     []int
+	rtAlpha   []float64
+	rtWorkBuf []float64
+
+	// stepWork caches each job's one-step predicted work on its currently
+	// assigned node, so the wave scheduler never re-resolves a runtime
+	// work cache entry on the hot path; Place and checkpointWave keep it
+	// current whenever the job's node changes.
+	stepWork []float64
+
+	// Speculative wave prefetcher state (workers > 1 only): specNs is the
+	// last event timestamp speculated, specWG joins in-flight workers at
+	// Finish, specLive gates a new speculation batch on the previous one
+	// having drained, and accBuf holds the chunked placement scan's
+	// per-worker partial reductions.
+	specNs   float64
+	specWG   sync.WaitGroup
+	specLive atomic.Int64
+	accBuf   []pickAcc
+
 	// Per-round hot-path scratch, reused across events so the steady state
 	// allocates nothing per round. The engine is single-threaded, so plain
 	// fields suffice; anything handed to a caller (waveState.active,
@@ -229,10 +264,20 @@ func NewEngine(c Cluster, opts Options) (*Engine, error) {
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("place: shard count must be non-negative, got %d", opts.Shards)
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("place: worker count must be non-negative, got %d", opts.Workers)
+	}
 	cfg := opts.config()
 
+	// graphFor is shared by the engine's serial hot path and the wave
+	// workers' speculative simulations, so it locks. Graphs are immutable
+	// once built; only the map needs the mutex, and the lock is touched a
+	// handful of times per run (once per distinct model key).
 	graphs := make(map[string]*graph.Graph)
+	var graphsMu sync.Mutex
 	graphFor := func(model string) *graph.Graph {
+		graphsMu.Lock()
+		defer graphsMu.Unlock()
 		if g, ok := graphs[model]; ok {
 			return g
 		}
@@ -261,22 +306,31 @@ func NewEngine(c Cluster, opts Options) (*Engine, error) {
 		pol: pol, arb: arb, rts: runtimes, ic: c.interconnect(),
 		infos: make(map[string]*modelInfo), graphs: graphFor,
 		preemptOn: preemptOn, triggers: triggers,
-		si: newShardedIndex(len(runtimes), shards),
+		si:      newShardedIndex(len(runtimes), shards),
+		workers: opts.workers(), noMemo: opts.NoWaveMemo,
+		specNs: math.Inf(-1),
 	}
 	e.nodes = make([]*nodeState, len(runtimes))
+	e.rtIdx = make([]int, len(runtimes))
 	for i, rt := range runtimes {
 		e.nodes[i] = &nodeState{rt: rt, minReadyNs: math.Inf(1)}
-		shared := false
-		for _, u := range e.uniqueRts {
+		idx := -1
+		for k, u := range e.uniqueRts {
 			if u == rt {
-				shared = true
+				idx = k
 				break
 			}
 		}
-		if !shared {
+		if idx < 0 {
+			idx = len(e.uniqueRts)
 			e.uniqueRts = append(e.uniqueRts, rt)
+			e.rtKind = append(e.rtKind, rt.Kind())
+			e.rtCap = append(e.rtCap, rt.Capacity())
+			e.rtAlpha = append(e.rtAlpha, rt.WaveAlpha())
 		}
+		e.rtIdx[i] = idx
 	}
+	e.rtWorkBuf = make([]float64, len(e.uniqueRts))
 	e.idxW = len(fmt.Sprintf("%d", len(e.nodes)-1))
 	if e.idxW < 2 {
 		e.idxW = 2
@@ -325,6 +379,7 @@ func (e *Engine) Admit(j JobSpec) (int, error) {
 	e.countedOn = append(e.countedOn, -1)
 	e.checkpointNs = append(e.checkpointNs, -1)
 	e.path = append(e.path, nil)
+	e.stepWork = append(e.stepWork, 0)
 	key := canon
 	if j.Inference() {
 		key = InferKey(canon, 1)
@@ -354,6 +409,11 @@ func (e *Engine) ProcessNextEvent() ([]int, error) {
 	if node < 0 {
 		return nil, fmt.Errorf("place: no pending node event")
 	}
+	// Arm the prefetcher before retiring: while this event (and the rest
+	// of its batch) retires serially in canonical order, the worker pool
+	// pre-simulates the gangs the pending events will price, so the serial
+	// path finds them already in the wave memo.
+	e.maybeSpeculate(t)
 	e.si.pop(node) // consume the peeked (valid) entry
 	if e.nodes[node].wave != nil {
 		return e.finishRound(node)
@@ -395,6 +455,10 @@ func (e *Engine) Job(ji int) PlacedJob {
 // every admitted job has completed (a caller that stalls earlier should
 // surface its own error — Finish reports whatever retired).
 func (e *Engine) Finish() *Result {
+	// Join any in-flight speculative wave workers: their results live only
+	// in the runtimes' concurrent caches, but the goroutines must not
+	// outlive the run.
+	e.specWG.Wait()
 	for ji := range e.placed {
 		e.placed[ji].StepsDone = e.done[ji]
 		if segs := e.path[ji]; len(segs) > 1 {
@@ -490,11 +554,13 @@ func (e *Engine) pathSeg(n int) string {
 	return fmt.Sprintf("n%0*d/%s", e.idxW, n, e.nodes[n].rt.Kind())
 }
 
-// remainingWorkOn prices job ji's unfinished steps on node ns's hardware.
-// Inference requests price at their forward-only serving graph (their work
-// key), not the model's training step.
-func (e *Engine) remainingWorkOn(ns *nodeState, ji int) float64 {
-	return float64(e.steps[ji]-e.done[ji]) * ns.rt.SoloWorkNs(e.workKeys[ji])
+// remainingNs prices job ji's unfinished steps on the node it is currently
+// assigned to, from the per-job step-work cache Place and checkpointWave
+// maintain — no runtime cache lookup on the hot path. Inference requests
+// price at their forward-only serving graph (their work key), not the
+// model's training step.
+func (e *Engine) remainingNs(ji int) float64 {
+	return float64(e.steps[ji]-e.done[ji]) * e.stepWork[ji]
 }
 
 // parallelViewsMin is the fleet size past which a sharded engine fans the
@@ -525,41 +591,43 @@ func (e *Engine) ViewsInto(ji int, nowNs float64, vs []NodeView) {
 	if len(vs) != len(e.nodes) {
 		panic(fmt.Sprintf("place: ViewsInto needs a %d-node slice, got %d", len(e.nodes), len(vs)))
 	}
-	model := e.workKeys[ji]
-	steps := float64(e.steps[ji])
+	// One work-cache resolution per distinct runtime, not per node; the
+	// fill loop below touches only precomputed tables and node state.
+	work := e.jobWorkPerRuntime(ji)
 	fill := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ns := e.nodes[i]
-			v := NodeView{
-				Index: i, Kind: ns.rt.Kind(), Capacity: ns.rt.Capacity(),
-				FreeNs: ns.viewFreeNs(), Queued: len(ns.queue),
-				QueuedWorkNs: ns.queuedWorkNs,
-				JobWorkNs:    steps * ns.rt.SoloWorkNs(model),
-				Alpha:        ns.rt.WaveAlpha(),
+			k := e.rtIdx[i]
+			v := &vs[i]
+			v.Index = i
+			v.Kind = e.rtKind[k]
+			v.Capacity = e.rtCap[k]
+			v.Resident = 0
+			if w := ns.wave; w != nil {
+				v.FreeNs = w.drainNs
+				if v.FreeNs > nowNs {
+					v.Resident = len(w.active)
+				}
+			} else {
+				v.FreeNs = ns.freeNs
 			}
-			if v.FreeNs > nowNs {
-				v.Resident = ns.residentCount()
-			}
-			vs[i] = v
+			v.Queued = len(ns.queue)
+			v.QueuedWorkNs = ns.queuedWorkNs
+			v.JobWorkNs = work[k]
+			v.Alpha = e.rtAlpha[k]
 		}
 	}
-	if len(e.si.shards) > 1 && len(e.nodes) >= parallelViewsMin {
-		// Pre-warm each distinct runtime's per-model work cache serially so
-		// the concurrent fill is read-only on it.
-		for _, rt := range e.uniqueRts {
-			rt.SoloWorkNs(model)
-		}
+	if e.workers > 1 && len(e.nodes) >= parallelViewsMin {
+		// Disjoint contiguous chunks, one per worker: every goroutine
+		// writes its own slice range, so the result is deterministic
+		// whatever the interleaving.
 		var wg sync.WaitGroup
-		for s := range e.si.shards {
-			lo, hi := e.si.firstNode(s), e.si.firstNode(s+1)
-			if lo >= hi {
-				continue
-			}
+		for _, c := range chunkRanges(len(e.nodes), e.workers) {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
 				fill(lo, hi)
-			}(lo, hi)
+			}(c.lo, c.hi)
 		}
 		wg.Wait()
 		return
@@ -567,13 +635,36 @@ func (e *Engine) ViewsInto(ji int, nowNs float64, vs []NodeView) {
 	fill(0, len(e.nodes))
 }
 
+// jobWorkPerRuntime fills the engine's per-pick scratch with job ji's
+// predicted total solo work per distinct runtime (the NodeView.JobWorkNs
+// every node sharing that runtime reports), resolving each runtime's work
+// cache exactly once — which also pre-warms the caches so concurrent
+// readers stay on the lock-free path.
+func (e *Engine) jobWorkPerRuntime(ji int) []float64 {
+	model := e.workKeys[ji]
+	steps := float64(e.steps[ji])
+	work := e.rtWorkBuf
+	for k, rt := range e.uniqueRts {
+		work[k] = steps * rt.SoloWorkNs(model)
+	}
+	return work
+}
+
 // PlaceAuto places admitted job ji at its arrival instant using the
-// engine's own policy — the batch wrapper's path. A pipeline's placement
-// stage runs the identical policy itself (Views → Policy.Pick → Place), so
-// both paths make byte-identical decisions. The node views are built into
-// an engine-owned scratch slice; policies see them only for the duration of
-// Pick and must not retain them.
+// engine's own policy — the batch wrapper's path. For the built-in
+// policies the node scan and the policy reduction run fused (fusedPick):
+// no NodeView is ever materialized, the per-node quantities are folded
+// straight into the policy's argmin — chunked across the worker pool on
+// large fleets — and the result is byte-identical to Views → Pick by the
+// policies' equivalence property test. A pipeline's placement stage runs
+// the identical policy itself (Views → Policy.Pick → Place), so both paths
+// make byte-identical decisions. In the fallback path the node views are
+// built into an engine-owned scratch slice; policies see them only for the
+// duration of Pick and must not retain them.
 func (e *Engine) PlaceAuto(ji int, at float64) error {
+	if n, ok := e.fusedPick(ji, at); ok {
+		return e.Place(ji, n, at)
+	}
 	if cap(e.viewBuf) < len(e.nodes) {
 		e.viewBuf = make([]NodeView, len(e.nodes))
 	}
@@ -603,7 +694,8 @@ func (e *Engine) Place(ji, n int, at float64) error {
 	}
 	e.readyNs[ji] = at + mi.xferNs
 	e.path[ji] = []string{e.pathSeg(n)}
-	work := e.remainingWorkOn(ns, ji)
+	e.stepWork[ji] = ns.rt.SoloWorkNs(e.workKeys[ji])
+	work := e.remainingNs(ji)
 	ns.queue = append(ns.queue, ji)
 	ns.queuedWorkNs += work
 	e.si.queueDelta(n, 1, work)
@@ -626,7 +718,7 @@ func (e *Engine) fireTriggers(ji, node int, at float64) {
 	arr := preempt.Arrival{
 		Name: sp.Name, Model: sp.Model, Priority: sp.Priority,
 		DeadlineNs: sp.DeadlineNs, Node: node,
-		WorkNs:  e.remainingWorkOn(e.nodes[node], ji),
+		WorkNs:  e.remainingNs(ji),
 		ReadyNs: e.readyNs[ji],
 	}
 	if sp.Inference() && sp.SLONs > 0 {
@@ -674,7 +766,7 @@ func (e *Engine) snapshot() []preempt.NodeSnapshot {
 				s.Resident = append(s.Resident, preempt.ResidentJob{
 					Name: sp.Name, Priority: sp.Priority, DeadlineNs: sp.DeadlineNs,
 					StepsDone: e.done[ji], Steps: e.steps[ji],
-					RemainingNs: e.remainingWorkOn(ns, ji),
+					RemainingNs: e.remainingNs(ji),
 				})
 			}
 		}
@@ -687,21 +779,26 @@ func (e *Engine) snapshot() []preempt.NodeSnapshot {
 // slot folds into a single batch-sized forward step.
 const maxDynamicBatch = 8
 
-// admitWave selects the staged-and-ready jobs joining node n's next wave:
-// up to the hardware's wave capacity, and on a memory-bound node (a GPU)
-// only while the working sets fit the device budget — though a lone job is
-// always admitted so an oversized model still runs. Inference requests are
-// latency-class: they jump every training candidate (earliest SLO deadline
-// first), and same-model requests fold into one dynamic batch per slot —
-// the leader occupies the slot, its followers ride the batch-sized forward
-// step for free. Behind them, GPU nodes pack training jobs
-// shortest-predicted-first (stable, so equal-work jobs keep placement
-// order); CPU nodes admit training jobs in placement order.
-func (e *Engine) admitWave(n int, startNs float64) ([]int, map[int][]int) {
+// selectWave computes the staged-and-ready jobs that would join node n's
+// next wave launched at startNs: up to the hardware's wave capacity, and on
+// a memory-bound node (a GPU) only while the working sets fit the device
+// budget — though a lone job is always admitted so an oversized model still
+// runs. Inference requests are latency-class: they jump every training
+// candidate (earliest SLO deadline first), and same-model requests fold
+// into one dynamic batch per slot — the leader occupies the slot, its
+// followers ride the batch-sized forward step for free. Behind them, GPU
+// nodes pack training jobs shortest-predicted-first (stable, so equal-work
+// jobs keep placement order); CPU nodes admit training jobs in placement
+// order.
+//
+// selectWave reads node and job state but commits nothing — admitWave owns
+// the queue compaction — which is what lets the speculative prefetcher ask
+// "what gang would launch here?" without perturbing the engine. It uses the
+// engine's scratch buffers, so only the event-loop goroutine may call it.
+func (e *Engine) selectWave(n int, startNs float64) ([]int, map[int][]int) {
 	ns := e.nodes[n]
 	capacity := ns.rt.Capacity()
 	memCap := ns.rt.MemCapacityBytes()
-	prevQueued, prevWorkNs := len(ns.queue), ns.queuedWorkNs
 	cands := e.candBuf[:0]
 	for _, ji := range ns.queue {
 		if e.readyNs[ji] <= startNs {
@@ -748,7 +845,7 @@ func (e *Engine) admitWave(n int, startNs float64) ([]int, map[int][]int) {
 			if pa != pb {
 				return pa > pb
 			}
-			return e.remainingWorkOn(ns, tc[a]) < e.remainingWorkOn(ns, tc[b])
+			return e.remainingNs(tc[a]) < e.remainingNs(tc[b])
 		})
 	}
 	// admit escapes into waveState.active, so it alone is freshly
@@ -812,6 +909,19 @@ func (e *Engine) admitWave(n int, startNs float64) ([]int, map[int][]int) {
 			}
 		}
 	}
+	return admit, batch
+}
+
+// admitWave commits selectWave's choice for node n: the admitted jobs (and
+// their dynamic-batch followers) leave the staged queue, and the node's
+// incremental queue aggregates are rebuilt over what remains.
+func (e *Engine) admitWave(n int, startNs float64) ([]int, map[int][]int) {
+	ns := e.nodes[n]
+	prevQueued, prevWorkNs := len(ns.queue), ns.queuedWorkNs
+	admit, batch := e.selectWave(n, startNs)
+	// selectWave marked everything leaving the queue in admittedBuf;
+	// reuse that membership set for the compaction.
+	admitted := e.admittedBuf
 	// Compact the queue in place: the write index never passes the read
 	// index, so filtering into queue[:0] is safe and allocation-free.
 	rest := ns.queue[:0]
@@ -823,7 +933,7 @@ func (e *Engine) admitWave(n int, startNs float64) ([]int, map[int][]int) {
 	ns.queue = rest
 	ns.queuedWorkNs, ns.minReadyNs = 0, math.Inf(1)
 	for _, ji := range rest {
-		ns.queuedWorkNs += e.remainingWorkOn(ns, ji)
+		ns.queuedWorkNs += e.remainingNs(ji)
 		if e.readyNs[ji] < ns.minReadyNs {
 			ns.minReadyNs = e.readyNs[ji]
 		}
@@ -1066,6 +1176,7 @@ func (e *Engine) checkpointWave(from int, remain []int, t float64) {
 		tn := e.nodes[tgt]
 		p.Node = tgt
 		p.Kind = tn.rt.Kind()
+		e.stepWork[ji] = tn.rt.SoloWorkNs(sp.Model)
 		e.readyNs[ji] = t + targets[tgt].TransferNs
 		e.checkpointNs[ji] = t
 		tn.queue = append(tn.queue, ji)
@@ -1089,7 +1200,7 @@ func buildRuntimes(descs []Node, arb multijob.Arbiter, cfg core.Config, graphFor
 		if d.GPU != nil {
 			rt, ok := gpus[d.GPU]
 			if !ok {
-				rt = &gpuRuntime{d: d.GPU, graphFor: graphFor, work: make(map[string]gpu.GraphWork)}
+				rt = &gpuRuntime{d: d.GPU, graphFor: graphFor}
 				if !noMemo {
 					rt.memo = &waveMemo{}
 				}
@@ -1100,7 +1211,7 @@ func buildRuntimes(descs []Node, arb multijob.Arbiter, cfg core.Config, graphFor
 		}
 		rt, ok := cpus[d.CPU]
 		if !ok {
-			rt = &cpuRuntime{m: d.CPU, arb: arb, cfg: cfg, graphFor: graphFor, work: make(map[string]float64)}
+			rt = &cpuRuntime{m: d.CPU, arb: arb, cfg: cfg, graphFor: graphFor}
 			if !noMemo {
 				rt.memo = &waveMemo{}
 			}

@@ -1,9 +1,12 @@
 package place
 
 import (
+	"hash/fnv"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Gang-signature wave memoization.
@@ -133,44 +136,104 @@ func gangKeys(kind string, jobs []WaveJob) (sig, fp string) {
 }
 
 // memoVariant is one simulated ordering of a canonical gang composition.
+// ready is closed once res (or err) is set; a variant found with ready
+// still open is an in-flight simulation to join, not to repeat.
 type memoVariant struct {
-	fp  string
-	res *WaveResult
+	fp    string
+	ready chan struct{}
+	res   *WaveResult
+	err   error
 }
 
-// waveMemo is the fleet-wide RunWave cache one runtime carries. Engines are
-// single-threaded and runtimes are never shared across engines, so no lock
-// guards it. Cached *WaveResult values are shared across waves and must be
-// treated as immutable by every caller.
+// memoShardCount spreads the cache across independently locked shards so
+// the serial retirement path and a fleet of speculative workers missing on
+// different signatures never serialize on one lock. Power of two so the
+// hash folds with a mask.
+const memoShardCount = 32
+
+// memoShard is one lock's worth of the cache, keyed by canonical signature.
+type memoShard struct {
+	mu      sync.Mutex
+	entries map[string][]*memoVariant
+}
+
+// waveMemo is the fleet-wide RunWave cache one runtime carries. It is safe
+// for concurrent use: lookups and stores shard their locking by signature
+// hash, and simulations are single-flight per ordered fingerprint — when
+// the engine's worker pool and its serial retirement path miss on the same
+// gang concurrently, exactly one simulation runs and everyone else blocks
+// on its result. Cached *WaveResult values are shared across waves and must
+// be treated as immutable by every caller.
 type waveMemo struct {
-	entries map[string][]memoVariant
-	hits    int
-	misses  int
+	shards [memoShardCount]memoShard
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
-// lookup finds the cached result of this exact ordered fingerprint under
-// the canonical signature.
-func (m *waveMemo) lookup(sig, fp string) (*WaveResult, bool) {
-	for _, v := range m.entries[sig] {
+// shard picks the signature's lock shard.
+func (m *waveMemo) shard(sig string) *memoShard {
+	h := fnv.New32a()
+	h.Write([]byte(sig))
+	return &m.shards[h.Sum32()&(memoShardCount-1)]
+}
+
+// do returns the cached result of this exact ordered fingerprint under the
+// canonical signature, simulating it with sim at most once fleet-wide:
+// the first caller per fingerprint runs sim (a miss), concurrent and later
+// callers wait on — and share — its result (hits). A failed simulation is
+// not cached: its error propagates to every waiter and the next caller
+// retries, so a speculative worker can never poison the cache for the
+// serial path.
+func (m *waveMemo) do(sig, fp string, sim func() (*WaveResult, error)) (*WaveResult, error) {
+	sh := m.shard(sig)
+	sh.mu.Lock()
+	for _, v := range sh.entries[sig] {
 		if v.fp == fp {
-			m.hits++
-			return v.res, true
+			sh.mu.Unlock()
+			<-v.ready
+			if v.err != nil {
+				return nil, v.err
+			}
+			m.hits.Add(1)
+			return v.res, nil
 		}
 	}
-	m.misses++
-	return nil, false
-}
-
-// store records a freshly simulated ordering under its canonical signature.
-func (m *waveMemo) store(sig, fp string, res *WaveResult) {
-	if m.entries == nil {
-		m.entries = make(map[string][]memoVariant)
+	v := &memoVariant{fp: fp, ready: make(chan struct{})}
+	if sh.entries == nil {
+		sh.entries = make(map[string][]*memoVariant)
 	}
-	m.entries[sig] = append(m.entries[sig], memoVariant{fp: fp, res: res})
+	sh.entries[sig] = append(sh.entries[sig], v)
+	sh.mu.Unlock()
+	m.misses.Add(1)
+
+	res, err := sim()
+	if err != nil {
+		// Unpublish before waking waiters: once ready closes, no new
+		// waiter can join the failed variant.
+		sh.mu.Lock()
+		vs := sh.entries[sig]
+		for i := range vs {
+			if vs[i] == v {
+				sh.entries[sig] = append(vs[:i], vs[i+1:]...)
+				break
+			}
+		}
+		sh.mu.Unlock()
+		v.err = err
+		close(v.ready)
+		return nil, err
+	}
+	v.res = res
+	close(v.ready)
+	return res, nil
 }
 
-// stats reports the cache's hit/miss counters.
-func (m *waveMemo) stats() (hits, misses int) { return m.hits, m.misses }
+// stats reports the cache's hit/miss counters: hits are RunWave calls
+// served from (or joined onto) a cached simulation, misses are simulations
+// actually run.
+func (m *waveMemo) stats() (hits, misses int) {
+	return int(m.hits.Load()), int(m.misses.Load())
+}
 
 // waveMemoStats is the optional introspection interface memoizing runtimes
 // implement; Engine.WaveMemoStats sums it across the fleet.

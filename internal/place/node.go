@@ -2,6 +2,8 @@ package place
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"opsched/internal/core"
 	"opsched/internal/gpu"
@@ -127,6 +129,45 @@ type NodeRuntime interface {
 	RunWave(jobs []WaveJob) (*WaveResult, error)
 }
 
+// workCache is a concurrent read-mostly map from model key to a cached
+// per-model prediction: lock-free copy-on-write reads (the placement hot
+// path and the speculative wave workers), a mutex only on the rare insert.
+// The model-key universe is tiny — the four workloads plus a handful of
+// dynamic-batch inference keys — so cloning on insert costs nothing.
+type workCache[V any] struct {
+	m  atomic.Pointer[map[string]V]
+	mu sync.Mutex
+}
+
+// get returns the cached value for key, computing and publishing it under
+// the write lock on first use. Concurrent first uses may compute twice;
+// predictions are deterministic, so either result is the same value.
+func (c *workCache[V]) get(key string, compute func() V) V {
+	if m := c.m.Load(); m != nil {
+		if v, ok := (*m)[key]; ok {
+			return v
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.m.Load()
+	if old != nil {
+		if v, ok := (*old)[key]; ok {
+			return v
+		}
+	}
+	v := compute()
+	next := make(map[string]V, 8)
+	if old != nil {
+		for k, ov := range *old {
+			next[k] = ov
+		}
+	}
+	next[key] = v
+	c.m.Store(&next)
+	return v
+}
+
 // cpuRuntime runs waves through multijob.CoTrain: per-job runtime
 // schedulers under a cross-job arbiter, contention priced over the union
 // of in-flight operations — the identical-node behaviour the engine had
@@ -136,7 +177,7 @@ type cpuRuntime struct {
 	arb      multijob.Arbiter
 	cfg      core.Config
 	graphFor func(string) *graph.Graph
-	work     map[string]float64
+	work     workCache[float64]
 	memo     *waveMemo // gang-signature RunWave cache; nil when disabled
 }
 
@@ -160,12 +201,9 @@ func (c *cpuRuntime) MemCapacityBytes() float64  { return 0 }
 func (c *cpuRuntime) JobMemBytes(string) float64 { return 0 }
 
 func (c *cpuRuntime) SoloWorkNs(model string) float64 {
-	if w, ok := c.work[model]; ok {
-		return w
-	}
-	w := multijob.PredictedSoloWorkNs(c.m, c.graphFor(model), c.cfg.Interval)
-	c.work[model] = w
-	return w
+	return c.work.get(model, func() float64 {
+		return multijob.PredictedSoloWorkNs(c.m, c.graphFor(model), c.cfg.Interval)
+	})
 }
 
 // WaveMemoStats reports the runtime's gang-signature cache counters.
@@ -177,13 +215,17 @@ func (c *cpuRuntime) WaveMemoStats() (hits, misses int) {
 }
 
 func (c *cpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
-	var sig, fp string
 	if c.memo != nil {
-		sig, fp = gangKeys(KindCPU, jobs)
-		if res, ok := c.memo.lookup(sig, fp); ok {
-			return res, nil
-		}
+		sig, fp := gangKeys(KindCPU, jobs)
+		return c.memo.do(sig, fp, func() (*WaveResult, error) { return c.simulate(jobs) })
 	}
+	return c.simulate(jobs)
+}
+
+// simulate prices one wave fresh through the multi-job co-scheduling
+// engine. It reads only the runtime's concurrent caches and per-call
+// state, so the memo may run it from any worker goroutine.
+func (c *cpuRuntime) simulate(jobs []WaveJob) (*WaveResult, error) {
 	mj := make([]multijob.Job, len(jobs))
 	for i, wj := range jobs {
 		job, err := multijob.RuntimeJob(wj.Name, c.graphFor(wj.Model), c.m, c.cfg)
@@ -209,9 +251,6 @@ func (c *cpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
 	for i, jr := range res.Jobs {
 		out.Jobs[i] = WaveJobResult{SoloNs: jr.SoloNs, MakespanNs: jr.MakespanNs, Slowdown: jr.Slowdown}
 	}
-	if c.memo != nil {
-		c.memo.store(sig, fp, out)
-	}
 	return out, nil
 }
 
@@ -222,7 +261,7 @@ func (c *cpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
 type gpuRuntime struct {
 	d        *gpu.Device
 	graphFor func(string) *graph.Graph
-	work     map[string]gpu.GraphWork
+	work     workCache[gpu.GraphWork]
 	memo     *waveMemo // gang-signature RunWave cache; nil when disabled
 }
 
@@ -237,12 +276,9 @@ func (g *gpuRuntime) MemCapacityBytes() float64 { return g.d.MemBytes() }
 func (g *gpuRuntime) JobMemBytes(model string) float64 { return g.graphWork(model).WorkingSetBytes }
 
 func (g *gpuRuntime) graphWork(model string) gpu.GraphWork {
-	if w, ok := g.work[model]; ok {
-		return w
-	}
-	w := g.d.PredictGraphWork(g.graphFor(model))
-	g.work[model] = w
-	return w
+	return g.work.get(model, func() gpu.GraphWork {
+		return g.d.PredictGraphWork(g.graphFor(model))
+	})
 }
 
 func (g *gpuRuntime) SoloWorkNs(model string) float64 { return g.graphWork(model).SoloNs }
@@ -256,13 +292,17 @@ func (g *gpuRuntime) WaveMemoStats() (hits, misses int) {
 }
 
 func (g *gpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
-	var sig, fp string
 	if g.memo != nil {
-		sig, fp = gangKeys(KindGPU, jobs)
-		if res, ok := g.memo.lookup(sig, fp); ok {
-			return res, nil
-		}
+		sig, fp := gangKeys(KindGPU, jobs)
+		return g.memo.do(sig, fp, func() (*WaveResult, error) { return g.simulate(jobs) })
 	}
+	return g.simulate(jobs)
+}
+
+// simulate prices one wave fresh through the occupancy/stream co-run
+// model. Like the CPU side it touches only concurrent caches, so the memo
+// may run it from any worker goroutine.
+func (g *gpuRuntime) simulate(jobs []WaveJob) (*WaveResult, error) {
 	works := make([]gpu.GraphWork, len(jobs))
 	for i, wj := range jobs {
 		works[i] = g.graphWork(wj.Model)
@@ -274,9 +314,6 @@ func (g *gpuRuntime) RunWave(jobs []WaveJob) (*WaveResult, error) {
 	out := &WaveResult{TotalNs: total, Jobs: make([]WaveJobResult, len(jobs))}
 	for i, o := range outs {
 		out.Jobs[i] = WaveJobResult{SoloNs: works[i].SoloNs, MakespanNs: o.MakespanNs, Slowdown: o.Slowdown}
-	}
-	if g.memo != nil {
-		g.memo.store(sig, fp, out)
 	}
 	return out, nil
 }

@@ -1,0 +1,357 @@
+package place
+
+import "sync"
+
+// Deterministic parallel engine core.
+//
+// Two independent mechanisms let the engine use every core without ever
+// changing a byte of output:
+//
+//  1. A fused, chunked placement scan. For the built-in policies a
+//     placement decision is an associative argmin reduction over the
+//     fleet — each node contributes a (class, score) key and ties always
+//     break on the lower node index. fusedPick folds the per-node view
+//     straight into that reduction (no NodeView is materialized), and on
+//     large fleets splits the fleet into contiguous per-worker chunks
+//     whose partial reductions merge in index order: the merge of chunk
+//     results is exactly the serial scan's answer, whatever the
+//     goroutine interleaving.
+//
+//  2. A speculative wave prefetcher (the Octopus prefetcher-stage idea
+//     applied to waves). Within one virtual-clock event batch, waves
+//     starting on distinct nodes are independent; while the serial loop
+//     retires the current batch in canonical (startNs, node) order, a
+//     worker pool pre-simulates the gangs the upcoming events will need
+//     — the pending round of a shrinking wave, the gang a woken node
+//     would admit — and publishes the results through the concurrent
+//     single-flight wave memo. The serial path then prices those waves
+//     with cache hits, which the memo-equivalence property guarantees
+//     are byte-identical to fresh simulation. A speculation invalidated
+//     by a preemption cut or a late arrival is simply an unused cache
+//     entry: nothing is ever retired out of order, so output cannot
+//     depend on the worker count. Workers=1 disables both mechanisms and
+//     is the fully serial engine.
+
+// parallelPickMin is the fleet size past which the fused placement scan
+// fans out across the worker pool; below it the per-goroutine handoff
+// costs more than the scan. A var so tests can force the parallel path on
+// small fleets.
+var parallelPickMin = 2048
+
+// specFanout bounds how many pending events the prefetcher inspects per
+// event batch, as a multiple of the worker count.
+const specFanout = 4
+
+// chunkRange is one worker's contiguous node range [lo, hi).
+type chunkRange struct{ lo, hi int }
+
+// chunkRanges splits n items into at most w contiguous, non-empty,
+// near-equal chunks.
+func chunkRanges(n, w int) []chunkRange {
+	if w > n {
+		w = n
+	}
+	out := make([]chunkRange, 0, w)
+	for g := 0; g < w; g++ {
+		lo, hi := g*n/w, (g+1)*n/w
+		if lo < hi {
+			out = append(out, chunkRange{lo, hi})
+		}
+	}
+	return out
+}
+
+// pickAcc is the running state of a placement reduction over a node range:
+// the best preferred-class candidate and the best fallback candidate seen
+// so far, with their comparison keys. Updates use strict key comparison
+// after a first-candidate test, so within a range the lowest index wins
+// ties — and merging two adjacent ranges left-to-right (merge keeps the
+// left winner on equal keys) reproduces the serial scan exactly.
+type pickAcc struct {
+	best    int // preferred-class candidate, -1 none
+	bestKey float64
+	fall    int // fallback candidate, -1 none
+	fallKey float64
+}
+
+func newPickAcc() pickAcc { return pickAcc{best: -1, fall: -1} }
+
+// merge folds the reduction of the range immediately to the right of a's
+// into a. Strictly-better keys win; equal keys keep a's (lower-index)
+// candidate.
+func (a *pickAcc) merge(b pickAcc) {
+	if b.best >= 0 && (a.best < 0 || b.bestKey < a.bestKey) {
+		a.best, a.bestKey = b.best, b.bestKey
+	}
+	if b.fall >= 0 && (a.fall < 0 || b.fallKey < a.fallKey) {
+		a.fall, a.fallKey = b.fall, b.fallKey
+	}
+}
+
+// nodeLoadFree reads node i's committed load and free horizon the way a
+// NodeView reports them: load counts the staged queue plus — only while
+// the in-flight wave drains past nowNs — its resident jobs.
+func (e *Engine) nodeLoadFree(i int, nowNs float64) (load int, freeNs float64) {
+	ns := e.nodes[i]
+	load = len(ns.queue)
+	if w := ns.wave; w != nil {
+		freeNs = w.drainNs
+		if freeNs > nowNs {
+			load += len(w.active)
+		}
+		return load, freeNs
+	}
+	return load, ns.freeNs
+}
+
+// scanModelAware folds nodes [lo, hi) into acc under the model-aware
+// policy: preferred class is the non-full nodes, the key is the arriving
+// job's predicted finish time there (ModelAware.estimate, replicated
+// operation for operation so the fused scan is float-identical to
+// Views → Pick).
+func (e *Engine) scanModelAware(lo, hi int, nowNs float64, work []float64, acc *pickAcc) {
+	for i := lo; i < hi; i++ {
+		k := e.rtIdx[i]
+		capk := e.rtCap[k]
+		load, freeNs := e.nodeLoadFree(i, nowNs)
+		start := freeNs
+		if start < nowNs {
+			start = nowNs
+		}
+		co := load
+		if co > capk-1 {
+			co = capk - 1
+		}
+		est := start + work[k]*(1+e.rtAlpha[k]*float64(co))
+		if load >= capk {
+			est += e.nodes[i].queuedWorkNs / float64(capk)
+			if acc.fall < 0 || est < acc.fallKey {
+				acc.fall, acc.fallKey = i, est
+			}
+			continue
+		}
+		if acc.best < 0 || est < acc.bestKey {
+			acc.best, acc.bestKey = i, est
+		}
+	}
+}
+
+// scanBinPack folds nodes [lo, hi) into acc under the binpack policy:
+// preferred class is the non-full nodes keyed by negated load (most
+// loaded wins), fallback is every node keyed by load (least loaded wins).
+func (e *Engine) scanBinPack(lo, hi int, nowNs float64, acc *pickAcc) {
+	for i := lo; i < hi; i++ {
+		load, _ := e.nodeLoadFree(i, nowNs)
+		lf := float64(load)
+		if acc.fall < 0 || lf < acc.fallKey {
+			acc.fall, acc.fallKey = i, lf
+		}
+		if load >= e.rtCap[e.rtIdx[i]] {
+			continue
+		}
+		if acc.best < 0 || -lf < acc.bestKey {
+			acc.best, acc.bestKey = i, -lf
+		}
+	}
+}
+
+// scanSpread folds nodes [lo, hi) into acc under the spread policy: no
+// preferred class, fallback is every node keyed by load (least loaded
+// wins, ties on the lower index — exactly leastLoaded).
+func (e *Engine) scanSpread(lo, hi int, nowNs float64, acc *pickAcc) {
+	for i := lo; i < hi; i++ {
+		load, _ := e.nodeLoadFree(i, nowNs)
+		if lf := float64(load); acc.fall < 0 || lf < acc.fallKey {
+			acc.fall, acc.fallKey = i, lf
+		}
+	}
+}
+
+// fusedPick picks job ji's node at nowNs with the scan and the policy
+// reduction fused — no NodeView materialized, one work-cache resolution
+// per distinct runtime, chunked across the worker pool on large fleets.
+// ok is false when the policy is not one of the built-ins; the caller
+// falls back to the materialized Views → Pick path.
+func (e *Engine) fusedPick(ji int, nowNs float64) (node int, ok bool) {
+	var scan func(lo, hi int, acc *pickAcc)
+	switch e.pol.(type) {
+	case ModelAware:
+		work := e.jobWorkPerRuntime(ji)
+		scan = func(lo, hi int, acc *pickAcc) { e.scanModelAware(lo, hi, nowNs, work, acc) }
+	case BinPack:
+		scan = func(lo, hi int, acc *pickAcc) { e.scanBinPack(lo, hi, nowNs, acc) }
+	case Spread:
+		scan = func(lo, hi int, acc *pickAcc) { e.scanSpread(lo, hi, nowNs, acc) }
+	default:
+		return 0, false
+	}
+	acc := newPickAcc()
+	if e.workers > 1 && len(e.nodes) >= parallelPickMin {
+		chunks := chunkRanges(len(e.nodes), e.workers)
+		if cap(e.accBuf) < len(chunks) {
+			e.accBuf = make([]pickAcc, len(chunks))
+		}
+		accs := e.accBuf[:len(chunks)]
+		done := make(chan struct{})
+		// Workers 1..n-1 scan their own chunks; this goroutine takes
+		// chunk 0 instead of idling on the join.
+		go func() {
+			defer close(done)
+			var wg sync.WaitGroup
+			for c := 1; c < len(chunks); c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					accs[c] = newPickAcc()
+					scan(chunks[c].lo, chunks[c].hi, &accs[c])
+				}(c)
+			}
+			wg.Wait()
+		}()
+		accs[0] = newPickAcc()
+		scan(chunks[0].lo, chunks[0].hi, &accs[0])
+		<-done
+		// Index-ordered merge: chunk order is node order, so the result
+		// is the serial scan's.
+		acc = accs[0]
+		for c := 1; c < len(accs); c++ {
+			acc.merge(accs[c])
+		}
+	} else {
+		scan(0, len(e.nodes), &acc)
+	}
+	if acc.best >= 0 {
+		return acc.best, true
+	}
+	return acc.fall, true
+}
+
+// specTask is one speculative wave simulation: the gang an upcoming event
+// is predicted to price, bound to the runtime that will price it.
+type specTask struct {
+	rt   NodeRuntime
+	jobs []WaveJob
+}
+
+// maybeSpeculate arms the prefetcher for the event batch starting at t:
+// once per distinct event timestamp, and only while the previous batch's
+// workers have drained (an overloaded pool skips a batch rather than
+// piling up goroutines). Prediction runs on the event-loop goroutine and
+// only reads engine state; the spawned workers touch nothing but the
+// runtimes' concurrent caches and the single-flight wave memo.
+func (e *Engine) maybeSpeculate(t float64) {
+	if e.workers <= 1 || e.noMemo || t <= e.specNs {
+		return
+	}
+	e.specNs = t
+	if e.specLive.Load() > 0 {
+		return
+	}
+	tasks := e.specTasks()
+	if len(tasks) == 0 {
+		return
+	}
+	w := e.workers
+	if w > len(tasks) {
+		w = len(tasks)
+	}
+	e.specLive.Add(int64(len(tasks)))
+	e.specWG.Add(w)
+	for g := 0; g < w; g++ {
+		go func(g int) {
+			defer e.specWG.Done()
+			for i := g; i < len(tasks); i += w {
+				// Warm the memo; the serial path consumes the result
+				// (or the error, by re-simulating) in canonical order.
+				_, _ = tasks[i].rt.RunWave(tasks[i].jobs)
+				e.specLive.Add(-1)
+			}
+		}(g)
+	}
+}
+
+// specTasks predicts the gangs the upcoming pending events would price:
+// for a node whose wave's round is ending, the shrunken gang of its next
+// round (skipped when the gang is unchanged — the engine reuses the result
+// without re-pricing — or cut for checkpointing); for an idle node about
+// to wake, the gang selectWave would admit. Mispredictions — a preemption
+// cut landing first, an arrival joining the queue — only strand an unused
+// cache entry.
+func (e *Engine) specTasks() []specTask {
+	budget := e.workers * specFanout
+	var tasks []specTask
+	for s := range e.si.shards {
+		h := e.si.shards[s]
+		take := budget - len(tasks)
+		if take <= 0 {
+			break
+		}
+		if perShard := budget / len(e.si.shards); perShard > 0 && take > perShard {
+			take = perShard
+		}
+		for x := 0; x < len(h) && take > 0; x++ {
+			en := h[x]
+			if e.nodes[en.node].version != en.version {
+				continue // stale heap entry
+			}
+			if jobs := e.predictWave(en.node, en.startNs); jobs != nil {
+				tasks = append(tasks, specTask{rt: e.nodes[en.node].rt, jobs: jobs})
+				take--
+			}
+		}
+	}
+	return tasks
+}
+
+// predictWave builds the WaveJob gang node n's pending event at startNs is
+// predicted to price, or nil when the event needs no fresh simulation. The
+// slice is freshly allocated — it escapes to a worker goroutine.
+func (e *Engine) predictWave(n int, startNs float64) []WaveJob {
+	ns := e.nodes[n]
+	if w := ns.wave; w != nil {
+		// Round-end event: the next round re-prices only if the gang
+		// shrinks and survives (finishRound reuses the result verbatim
+		// when nobody completed, and a cut wave checkpoints instead).
+		if w.cut {
+			return nil
+		}
+		var remain []int
+		for _, ji := range w.active {
+			if e.done[ji]+1 < e.steps[ji] {
+				remain = append(remain, ji)
+			}
+		}
+		if len(remain) == 0 || len(remain) == len(w.active) {
+			return nil
+		}
+		return e.buildWaveJobs(remain, w.batch, 1)
+	}
+	if len(ns.queue) == 0 {
+		return nil
+	}
+	admit, batch := e.selectWave(n, startNs)
+	if len(admit) == 0 {
+		return nil
+	}
+	return e.buildWaveJobs(admit, batch, 0)
+}
+
+// buildWaveJobs renders a predicted gang the way runRound will: per-job
+// steps remaining after doneDelta more retire, inference slots priced at
+// their dynamic batch size.
+func (e *Engine) buildWaveJobs(active []int, batch map[int][]int, doneDelta int) []WaveJob {
+	jobs := make([]WaveJob, 0, len(active))
+	for _, ji := range active {
+		sp := e.specs[ji]
+		wj := WaveJob{
+			Name: sp.Name, Model: sp.Model, Priority: sp.Priority, Weight: sp.Weight,
+			StepsLeft: e.steps[ji] - e.done[ji] - doneDelta,
+		}
+		if sp.Inference() {
+			wj.Model = InferKey(sp.Model, 1+len(batch[ji]))
+			wj.Class = ClassInference
+		}
+		jobs = append(jobs, wj)
+	}
+	return jobs
+}

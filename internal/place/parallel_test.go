@@ -1,0 +1,239 @@
+package place
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"opsched/internal/nn"
+)
+
+// TestChunkRanges: the chunking covers [0, n) exactly once in index order,
+// never emits an empty chunk, and degrades to one chunk per item when
+// workers outnumber items.
+func TestChunkRanges(t *testing.T) {
+	for _, tc := range []struct{ n, w int }{
+		{1, 1}, {7, 2}, {8, 8}, {3, 8}, {1000, 7}, {16, 4},
+	} {
+		chunks := chunkRanges(tc.n, tc.w)
+		next := 0
+		for _, c := range chunks {
+			if c.lo != next {
+				t.Fatalf("chunkRanges(%d,%d): gap or overlap at %d (chunks %v)", tc.n, tc.w, c.lo, chunks)
+			}
+			if c.hi <= c.lo {
+				t.Fatalf("chunkRanges(%d,%d): empty chunk %v", tc.n, tc.w, c)
+			}
+			next = c.hi
+		}
+		if next != tc.n {
+			t.Fatalf("chunkRanges(%d,%d): covers [0,%d), want [0,%d)", tc.n, tc.w, next, tc.n)
+		}
+		if tc.w <= tc.n && len(chunks) != tc.w {
+			t.Fatalf("chunkRanges(%d,%d): %d chunks, want %d", tc.n, tc.w, len(chunks), tc.w)
+		}
+	}
+}
+
+// TestFusedPickMatchesPick: the fused scan is the policies' equivalence
+// property — on evolving engine state (waves in flight, queues staged,
+// inference batches folding) fusedPick returns exactly the node
+// Views → Policy.Pick would, for every built-in policy, serial and with
+// the chunked parallel path forced on.
+func TestFusedPickMatchesPick(t *testing.T) {
+	oldPick := parallelPickMin
+	defer func() { parallelPickMin = oldPick }()
+	for _, policy := range []string{"spread", "binpack", "model-aware"} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("%s/workers=%d", policy, workers)
+			parallelPickMin = 1 // force the chunked path even on 8 nodes
+			e, err := NewEngine(Cluster{Nodes: 3, GPUs: 5}, Options{Policy: policy, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			training := MustSynthetic(30, 11, []string{nn.LSTM, nn.DCGAN, nn.ResNet50}, 2e6)
+			serving := MustSyntheticInference(12, 13, []string{nn.DCGAN}, 3e6, 50e6)
+			w := training.Merge(serving)
+			for i, sp := range w {
+				ji, err := e.Admit(sp)
+				if err != nil {
+					t.Fatalf("%s job %d: %v", name, i, err)
+				}
+				// Advance the clock so picks see waves mid-flight, drained
+				// nodes and staged queues, not just an empty fleet.
+				if _, err := e.AdvanceTo(sp.ArrivalNs); err != nil {
+					t.Fatalf("%s advance %d: %v", name, i, err)
+				}
+				want := e.pol.Pick(e.specs[ji], sp.ArrivalNs, e.Views(ji, sp.ArrivalNs))
+				got, ok := e.fusedPick(ji, sp.ArrivalNs)
+				if !ok {
+					t.Fatalf("%s: fusedPick refused built-in policy", name)
+				}
+				if got != want {
+					t.Fatalf("%s job %d at %v: fusedPick=%d, Views→Pick=%d", name, i, sp.ArrivalNs, got, want)
+				}
+				if err := e.Place(ji, got, sp.ArrivalNs); err != nil {
+					t.Fatalf("%s place %d: %v", name, i, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedPickFallback: a custom policy the engine cannot fuse falls back
+// to the materialized Views → Pick path and still places.
+func TestFusedPickFallback(t *testing.T) {
+	e, err := NewEngine(Cluster{GPUs: 2}, Options{Policy: "spread"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.pol = pickFirst{}
+	ji, err := e.Admit(JobSpec{Model: "lstm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.fusedPick(ji, 0); ok {
+		t.Fatal("fusedPick claimed a custom policy")
+	}
+	if err := e.PlaceAuto(ji, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.placed[ji].Node != 0 {
+		t.Fatalf("fallback placed on node %d, want 0", e.placed[ji].Node)
+	}
+}
+
+// pickFirst is a minimal non-built-in policy for the fallback test.
+type pickFirst struct{}
+
+func (pickFirst) Name() string                          { return "pick-first" }
+func (pickFirst) Pick(JobSpec, float64, []NodeView) int { return 0 }
+
+// TestWorkersByteEquivalence: the parallel engine's whole contract — the
+// rendered result is byte-identical at every worker count, across the
+// golden configurations (pure training, preemption armed, mixed
+// inference), with the parallel scan and prefetcher paths forced on.
+func TestWorkersByteEquivalence(t *testing.T) {
+	oldViews, oldPick := parallelViewsMin, parallelPickMin
+	parallelViewsMin, parallelPickMin = 1, 1
+	defer func() { parallelViewsMin, parallelPickMin = oldViews, oldPick }()
+
+	training := func() Workload {
+		w, err := SyntheticSteps(48, 21, []string{nn.LSTM, nn.DCGAN, nn.ResNet50}, 2e6, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	mixed := func() Workload {
+		return training().Merge(MustSyntheticInference(24, 22, []string{nn.DCGAN, nn.LSTM}, 1e6, 60e6))
+	}
+	cases := []struct {
+		name string
+		w    Workload
+		c    Cluster
+		opts Options
+	}{
+		{"training", training(), Cluster{Nodes: 2, GPUs: 6}, Options{Policy: "model-aware"}},
+		{"preempt", training(), Cluster{Nodes: 2, GPUs: 6}, Options{Policy: "model-aware", Arbiter: "priority", Preempt: "all"}},
+		{"inference", mixed(), Cluster{Nodes: 2, GPUs: 6}, Options{Policy: "model-aware", Preempt: "slo-at-risk"}},
+		{"binpack-nomemo", training(), Cluster{GPUs: 4}, Options{Policy: "binpack", NoWaveMemo: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want string
+			for _, workers := range []int{1, 2, 4, 8} {
+				opts := tc.opts
+				opts.Workers = workers
+				res, err := PlaceJobs(tc.w, tc.c, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got := res.Render()
+				if workers == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("workers=%d renders differently from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestWaveMemoSingleFlight: under heavy concurrent misses — many goroutines
+// hammering the same and distinct fingerprints — exactly one simulation
+// runs per distinct fingerprint, everyone shares the same result pointer,
+// and the counters add up. Run with -race this is the cache's stress gate.
+func TestWaveMemoSingleFlight(t *testing.T) {
+	m := &waveMemo{}
+	const (
+		goroutines = 32
+		sigs       = 8
+		variants   = 2 // orderings per canonical signature
+	)
+	var sims atomic.Int64
+	start := make(chan struct{})
+	results := make([][]*WaveResult, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]*WaveResult, sigs*variants)
+			<-start
+			for s := 0; s < sigs; s++ {
+				for v := 0; v < variants; v++ {
+					sig := fmt.Sprintf("gpu::sig%d", s)
+					fp := fmt.Sprintf("gpu::sig%d/ord%d", s, v)
+					res, err := m.do(sig, fp, func() (*WaveResult, error) {
+						sims.Add(1)
+						return &WaveResult{TotalNs: float64(s*10 + v)}, nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					results[g][s*variants+v] = res
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if got, want := sims.Load(), int64(sigs*variants); got != want {
+		t.Fatalf("single-flight broke: %d simulations for %d distinct fingerprints", got, want)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i, res := range results[g] {
+			if res != results[0][i] {
+				t.Fatalf("goroutine %d fingerprint %d got a different result pointer", g, i)
+			}
+		}
+	}
+	hits, misses := m.stats()
+	if misses != sigs*variants || hits+misses != goroutines*sigs*variants {
+		t.Fatalf("counters: hits=%d misses=%d, want misses=%d and hits+misses=%d",
+			hits, misses, sigs*variants, goroutines*sigs*variants)
+	}
+}
+
+// TestWaveMemoErrorNotCached: a failed simulation propagates to its waiters
+// but is never published — the next caller re-simulates and can succeed.
+func TestWaveMemoErrorNotCached(t *testing.T) {
+	m := &waveMemo{}
+	boom := fmt.Errorf("transient")
+	if _, err := m.do("cpu::x", "cpu::x", func() (*WaveResult, error) { return nil, boom }); err != boom {
+		t.Fatalf("want the simulation error, got %v", err)
+	}
+	res, err := m.do("cpu::x", "cpu::x", func() (*WaveResult, error) { return &WaveResult{TotalNs: 1}, nil })
+	if err != nil || res.TotalNs != 1 {
+		t.Fatalf("retry after failure: res=%v err=%v", res, err)
+	}
+	hits, misses := m.stats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("counters after failure+retry: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+}

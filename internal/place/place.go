@@ -38,6 +38,7 @@ package place
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -394,6 +395,22 @@ type Options struct {
 	// skips re-simulating a wave composition already priced — so this
 	// exists for benchmarks and equivalence tests, not correctness.
 	NoWaveMemo bool
+	// Workers bounds the engine's parallelism: the worker count for the
+	// speculative wave prefetcher and for the chunked placement scan on
+	// large fleets. 0 picks GOMAXPROCS automatically; 1 forces the fully
+	// serial path; negative is rejected. Results are byte-identical at
+	// every worker count — parallel waves retire in canonical (startNs,
+	// node) order and the placement reduction is associative with the
+	// serial tie-breaks — which the determinism gates enforce.
+	Workers int
+}
+
+// workers is the effective engine parallelism after defaulting.
+func (o Options) workers() int {
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
 }
 
 func (o Options) policy() string {
@@ -585,7 +602,11 @@ func jainIndex(xs []float64) float64 {
 func (r *Result) finalize() {
 	var jctSum, queueSum float64
 	rates := make([]float64, 0, len(r.Jobs))
-	var trainJCT, inferJCT []float64
+	// Pure-training replays are the throughput-critical shape: give the
+	// training partition full capacity up front so the per-class fold
+	// never regrows it, and let the inference side allocate lazily.
+	trainJCT := make([]float64, 0, len(r.Jobs))
+	var inferJCT []float64
 	for _, p := range r.Jobs {
 		jct := p.JCTNs()
 		jctSum += jct

@@ -274,8 +274,8 @@ func TestParallelViewsMatchSerial(t *testing.T) {
 	parallelViewsMin = 1
 	defer func() { parallelViewsMin = old }()
 
-	mk := func(shards int) *Engine {
-		e, err := NewEngine(Cluster{GPUs: 8}, Options{Policy: "spread", Shards: shards})
+	mk := func(workers int) *Engine {
+		e, err := NewEngine(Cluster{GPUs: 8}, Options{Policy: "spread", Shards: 4, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
-# Benchmark regression gate: compares ns/op between a base and a head
-# BENCH_*.json (both in scripts/bench.sh's schema) against the committed
-# tolerance file, and fails on any gated benchmark that regressed past its
-# allowance.
+# Benchmark regression gate: compares ns/op — and, where a benchmark
+# reports it, jobs/s throughput — between a base and a head BENCH_*.json
+# (both in scripts/bench.sh's schema) against the committed tolerance
+# file, and fails on any gated benchmark that regressed past its
+# allowance. ns/op regresses upward, jobs/s regresses downward; both gates
+# share one allowance per benchmark, so a slowdown cannot hide behind
+# whichever metric the tolerance file happened to name.
 #
 # Usage: scripts/bench_gate.sh <base.json> <head.json> [tolerance-file]
 #        (tolerance file defaults to .github/bench-tolerance.txt)
@@ -25,10 +28,10 @@ default=$(awk '!/^#/ && $1 == "default" { print $2; exit }' "$tol")
 [ -n "$default" ] || default=15
 
 tmp=$(mktemp)
-jq -r '.benchmarks[] | "\(.name) \(.ns_per_op)"' "$head" >"$tmp"
+jq -r '.benchmarks[] | "\(.name) \(.ns_per_op) \(.jobs_per_s // "-")"' "$head" >"$tmp"
 
 fail=0
-while read -r name headns; do
+while read -r name headns headjobs; do
 	basens=$(jq -r --arg n "$name" \
 		'[.benchmarks[] | select(.name == $n) | .ns_per_op] | first // empty' "$base")
 	if [ -z "$basens" ]; then
@@ -50,6 +53,26 @@ while read -r name headns; do
 		;;
 	*)
 		echo "ok    $name: $verdict"
+		;;
+	esac
+	# Throughput gate: only for benchmarks reporting jobs/s in both
+	# artifacts; a drop past the same allowance fails.
+	[ "$headjobs" = "-" ] && continue
+	basejobs=$(jq -r --arg n "$name" \
+		'[.benchmarks[] | select(.name == $n) | .jobs_per_s] | first // empty' "$base")
+	[ -n "$basejobs" ] && [ "$basejobs" != "null" ] || continue
+	verdict=$(awk -v b="$basejobs" -v h="$headjobs" -v t="$allow" 'BEGIN {
+		pct = (b - h) / b * 100
+		printf "%+.1f%% drop (base %.0f jobs/s, head %.0f jobs/s, allowance %s%%) %s",
+			pct, b, h, t, (pct > t + 0 ? "FAIL" : "ok")
+	}')
+	case "$verdict" in
+	*FAIL)
+		echo "FAIL  $name [jobs/s]: $verdict"
+		fail=1
+		;;
+	*)
+		echo "ok    $name [jobs/s]: $verdict"
 		;;
 	esac
 done <"$tmp"
