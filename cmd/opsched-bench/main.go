@@ -39,6 +39,15 @@
 //	                              # engine-internal parallelism: 8 workers
 //	                              # per cell (0 = GOMAXPROCS, 1 = serial);
 //	                              # output is byte-identical at any count
+//	opsched-bench -cluster 12 -metrics-out metrics.prom
+//	                              # dump the engine's metrics registry in
+//	                              # Prometheus text format after the sweep
+//	opsched-bench -cluster 12 -nodes 2 -steps 4 -preempt on -trace-out run.trace.json
+//	                              # export the scheduler's virtual-time
+//	                              # timeline as Chrome trace-event JSON
+//	                              # (load in Perfetto); single-cell grids
+//	                              # only — a multi-cell sweep interleaves
+//	                              # timelines nondeterministically
 //	opsched-bench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz -mutexprofile mutex.pb.gz
 //	                              # write pprof profiles alongside any mode
 //
@@ -52,6 +61,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -193,6 +203,8 @@ func main() {
 	shareMode := flag.String("share", "", `GPU sharing mode for -cluster fleets: "streams" (default) or "mps"`)
 	engineSpec := flag.String("engine", "batch", `execution engines for -cluster, comma-separated: "batch" (closed-workload engine), "pipeline" (streaming admission→placement→execution→metrics pipeline); both render byte-identically`)
 	workers := flag.Int("workers", 0, "engine-internal worker count per -cluster cell: 0 = auto (GOMAXPROCS), 1 = fully serial; output is byte-identical at any count")
+	metricsOut := flag.String("metrics-out", "", "write the -cluster sweep's metrics registry to this file in Prometheus text format")
+	traceOut := flag.String("trace-out", "", "write the -cluster run's virtual-time scheduler timeline to this file as Chrome trace-event JSON (single-cell grids only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -219,10 +231,15 @@ func main() {
 	}
 	if *clusterN > 0 {
 		inf := inferenceSpec{n: *inferenceN, gapMs: *infGapMs, sloMs: *sloMs}
+		out := obsOut{metricsPath: *metricsOut, tracePath: *traceOut}
 		runCluster(ctx, *clusterN, *policy, *nodesSpec, *gpusSpec, *models, *arbiter,
 			*seed, *gapMs, *steps, *preemptSpec, *triggerSpec, *engineSpec, inf, *shareMode,
-			*workers, *parallel, *jsonOut)
+			*workers, *parallel, *jsonOut, out)
 		return
+	}
+	if *metricsOut != "" || *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "opsched-bench: -metrics-out/-trace-out require -cluster mode")
+		os.Exit(1)
 	}
 
 	if *jobs != "" {
@@ -355,6 +372,12 @@ type inferenceSpec struct {
 	sloMs float64
 }
 
+// obsOut carries the -metrics-out/-trace-out flag pair into runCluster.
+type obsOut struct {
+	metricsPath string
+	tracePath   string
+}
+
 // runCluster is the -cluster mode: a synthetic workload placed under every
 // requested policy at every requested node mix (CPU counts × GPU counts)
 // and preemption configuration, through the sweep pool. A non-zero
@@ -362,7 +385,7 @@ type inferenceSpec struct {
 // mixed stream sweeps the same grid. Same determinism contract as the
 // other modes — stdout is byte-identical at any -parallel, timings go to
 // stderr or the JSON payload.
-func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, steps int, preemptSpec, triggerSpec, engineSpec string, inf inferenceSpec, shareMode string, workers, parallel int, jsonOut bool) {
+func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, modelsSpec, arbiterSpec string, seed uint64, gapMs float64, steps int, preemptSpec, triggerSpec, engineSpec string, inf inferenceSpec, shareMode string, workers, parallel int, jsonOut bool, out obsOut) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "opsched-bench: %v\n", err)
 		os.Exit(1)
@@ -472,12 +495,53 @@ func runCluster(ctx context.Context, n int, policySpec, nodesSpec, gpusSpec, mod
 		}
 		grid.GPU = dev
 	}
+
+	// Observability outputs: a metrics registry aggregates safely across a
+	// whole sweep (atomic instruments), but the tracer's timeline is only
+	// deterministic when exactly one cell emits into it.
+	if out.metricsPath != "" || out.tracePath != "" {
+		grid.Obs = &opsched.Observer{}
+		if out.metricsPath != "" {
+			grid.Obs.Metrics = opsched.NewMetricsRegistry()
+		}
+		if out.tracePath != "" {
+			if cells := grid.Cells(); len(cells) != 1 {
+				fail(fmt.Errorf("-trace-out needs a single-cell grid, got %d cells; pin -policy, -nodes, -gpus, -preempt and -engine to one value each", len(cells)))
+			}
+			grid.Obs.Tracer = opsched.NewSchedTracer()
+		}
+	}
+
 	start := time.Now()
 	cells, err := opsched.RunClusterSweep(ctx, grid, parallel)
 	if err != nil {
 		fail(err)
 	}
 	emitClusterCells(cells, time.Since(start), parallel, jsonOut)
+
+	if out.metricsPath != "" {
+		if err := writeFileWith(out.metricsPath, grid.Obs.Metrics.WritePrometheus); err != nil {
+			fail(fmt.Errorf("-metrics-out: %w", err))
+		}
+	}
+	if out.tracePath != "" {
+		if err := writeFileWith(out.tracePath, grid.Obs.Tracer.WriteChromeTrace); err != nil {
+			fail(fmt.Errorf("-trace-out: %w", err))
+		}
+	}
+}
+
+// writeFileWith streams a render function into a freshly created file.
+func writeFileWith(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func emitClusterCells(cells []opsched.ClusterSweepCell, total time.Duration, parallel int, jsonOut bool) {

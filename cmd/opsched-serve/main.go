@@ -34,9 +34,21 @@
 //	                SLO attainment, p50/p99) once any inference request
 //	                has finished
 //	POST /drain     close the stream and drain gracefully
+//	GET  /metrics   the scheduler's metrics registry in Prometheus text
+//	                exposition format: engine counters (admissions, waves,
+//	                preemptions, SLO attainment, wave-memo hit rate, shard
+//	                queues), pipeline stage latencies and backpressure
+//	                gauges, and the serve process's own gauges
+//	GET  /healthz   liveness: 200 "ok" while serving, "draining" once the
+//	                stream is closing
+//	GET  /buildinfo build metadata as JSON (Go version, module version,
+//	                VCS revision) from runtime/debug.ReadBuildInfo
 //	GET  /debug/pprof/  net/http/pprof profiling handlers (CPU profile,
 //	                heap, mutex, goroutine, execution trace) for live
 //	                inspection of a running service
+//
+// Logging goes to stderr through log/slog; -log-level selects the floor
+// (debug, info, warn, error).
 //
 // Shutdown is an ordered drain, never an abort: when the trace ends (and
 // no -http keeps the stream open), or on the first SIGINT/SIGTERM, or on
@@ -52,12 +64,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -67,11 +81,21 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("opsched-serve: ")
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
-		log.Fatal(err)
+		slog.Error("fatal", "err", err)
+		os.Exit(1)
 	}
+}
+
+// setupLogging installs the process-wide slog default: text to stderr at
+// the requested floor.
+func setupLogging(levelName string) error {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(levelName)); err != nil {
+		return fmt.Errorf("-log-level %q: %w", levelName, err)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+	return nil
 }
 
 // run is the whole service behind main: parse flags, assemble the
@@ -95,28 +119,37 @@ func run(args []string, stdin *os.File, stdout io.Writer) error {
 	snapEvery := fs.Int("snap-every", 10, "print a live snapshot to stderr every N completions (0 disables)")
 	buffer := fs.Int("buffer", 0, "inter-stage channel depth (0 = default)")
 	tick := fs.Duration("tick", 500*time.Millisecond, "virtual-clock tick interval in -http mode (retires work between submissions)")
+	logLevel := fs.String("log-level", "info", "log floor: debug, info, warn or error")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := setupLogging(*logLevel); err != nil {
 		return err
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
+	// The service always carries a metrics registry: the engine and
+	// pipeline instrument through it and GET /metrics scrapes it. The
+	// placement report is byte-identical with or without it.
+	reg := opsched.NewMetricsRegistry()
 	cfg := opsched.PipelineConfig{
 		Cluster: opsched.Cluster{Nodes: *nodes, GPUs: *gpus},
-		Options: opsched.PlaceOptions{Policy: *policy, Arbiter: *arbiter, Preempt: *preempt, Workers: *workers},
-		Buffer:  *buffer,
+		Options: opsched.PlaceOptions{Policy: *policy, Arbiter: *arbiter, Preempt: *preempt, Workers: *workers,
+			Obs: &opsched.Observer{Metrics: reg}},
+		Buffer: *buffer,
 	}
 	if *snapEvery > 0 {
 		cfg.SnapshotEvery = *snapEvery
-		cfg.OnSnapshot = func(s opsched.StreamSnapshot) { log.Print(s) }
+		cfg.OnSnapshot = func(s opsched.StreamSnapshot) { slog.Info("snapshot", "live", s.String()) }
 	}
 	p, err := opsched.NewJobPipeline(ctx, cfg)
 	if err != nil {
 		return err
 	}
 
-	srv := &server{p: p, start: time.Now()}
+	srv := newServer(p, reg)
 
 	// Graceful drain: trace EOF (when nothing else feeds the stream),
 	// SIGINT/SIGTERM, or POST /drain — whoever comes first closes once.
@@ -125,10 +158,10 @@ func run(args []string, stdin *os.File, stdout io.Writer) error {
 	defer signal.Stop(sigs)
 	go func() {
 		<-sigs
-		log.Print("draining (signal again to abort)")
+		slog.Info("draining (signal again to abort)")
 		srv.drain()
 		<-sigs
-		log.Print("aborting")
+		slog.Warn("aborting")
 		cancel()
 	}()
 
@@ -136,9 +169,9 @@ func run(args []string, stdin *os.File, stdout io.Writer) error {
 	if *httpAddr != "" {
 		httpSrv = &http.Server{Addr: *httpAddr, Handler: srv.mux()}
 		go func() {
-			log.Printf("listening on %s", *httpAddr)
+			slog.Info("listening", "addr", *httpAddr)
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Print(err)
+				slog.Error("http server failed", "err", err)
 				cancel()
 			}
 		}()
@@ -176,18 +209,18 @@ func run(args []string, stdin *os.File, stdout io.Writer) error {
 				DefaultSteps: *defaultSteps, SkipMalformed: *skipMalformed,
 			})
 			if err != nil {
-				log.Print(err)
+				slog.Error("trace open failed", "err", err)
 				cancel()
 				return
 			}
 			if err := srv.feedTrace(ctx, r, *speed); err != nil {
-				log.Print(err)
+				slog.Error("trace replay failed", "err", err)
 				cancel()
 				return
 			}
 			st := r.Stats()
-			log.Printf("trace done: %d rows, %d jobs, %d skipped, %d out-of-order, %d mapped models",
-				st.Rows, st.Jobs, st.Skipped, st.OutOfOrder, st.MappedModels)
+			slog.Info("trace done", "rows", st.Rows, "jobs", st.Jobs, "skipped", st.Skipped,
+				"out_of_order", st.OutOfOrder, "mapped_models", st.MappedModels)
 			if *httpAddr == "" {
 				srv.drain() // no other feeder: the trace end is the stream end
 			}
@@ -212,8 +245,25 @@ type server struct {
 	p     *opsched.JobPipeline
 	start time.Time
 
+	// reg is the metrics registry GET /metrics scrapes; the engine and
+	// pipeline instruments live in it too. The serve-process gauges are
+	// refreshed at scrape time, not on a timer.
+	reg        *opsched.MetricsRegistry
+	httpReqs   *opsched.MetricsCounterVec
+	goroutines *opsched.MetricsGauge
+	uptime     *opsched.MetricsGauge
+
 	drainOnce sync.Once
 	draining  atomic.Bool
+}
+
+func newServer(p *opsched.JobPipeline, reg *opsched.MetricsRegistry) *server {
+	return &server{
+		p: p, start: time.Now(), reg: reg,
+		httpReqs:   reg.CounterVec("opsched_serve_http_requests_total", "HTTP requests served, by endpoint.", "endpoint"),
+		goroutines: reg.Gauge("opsched_serve_goroutines", "Goroutines alive at the last /metrics scrape."),
+		uptime:     reg.Gauge("opsched_serve_uptime_seconds", "Wall-clock seconds since process start, at the last /metrics scrape."),
+	}
 }
 
 func (s *server) drain() {
@@ -234,9 +284,12 @@ func (s *server) tick() error { return s.p.Tick(s.nowNs()) }
 // stay on permanently (they cost nothing until scraped).
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/jobs", method(http.MethodPost, s.handleSubmit))
-	mux.HandleFunc("/snapshot", method(http.MethodGet, s.handleSnapshot))
-	mux.HandleFunc("/drain", method(http.MethodPost, s.handleDrain))
+	mux.HandleFunc("/jobs", s.counted("jobs", method(http.MethodPost, s.handleSubmit)))
+	mux.HandleFunc("/snapshot", s.counted("snapshot", method(http.MethodGet, s.handleSnapshot)))
+	mux.HandleFunc("/drain", s.counted("drain", method(http.MethodPost, s.handleDrain)))
+	mux.HandleFunc("/metrics", s.counted("metrics", method(http.MethodGet, s.handleMetrics)))
+	mux.HandleFunc("/healthz", s.counted("healthz", method(http.MethodGet, s.handleHealthz)))
+	mux.HandleFunc("/buildinfo", s.counted("buildinfo", method(http.MethodGet, s.handleBuildinfo)))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -253,9 +306,9 @@ func (s *server) feedTrace(ctx context.Context, src *opsched.TraceReader, speed 
 	// unpaced, so the two replay paths report comparable jobs/s.
 	pace := speed > 0 && !math.IsInf(speed, 1)
 	if pace {
-		log.Printf("trace replay: paced at %g× native arrival rate", speed)
+		slog.Info("trace replay paced", "speed", speed)
 	} else {
-		log.Print("trace replay: unpaced (virtual time only)")
+		slog.Info("trace replay unpaced (virtual time only)")
 	}
 	var epoch float64
 	first := true
@@ -349,6 +402,69 @@ func (s *server) handleDrain(w http.ResponseWriter, _ *http.Request) {
 	s.drain()
 	w.WriteHeader(http.StatusAccepted)
 	fmt.Fprintln(w, "draining")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Process gauges are sampled at scrape time — the scheduler's own
+	// instruments update continuously, these two only need to be fresh
+	// when somebody looks.
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+	s.uptime.Set(time.Since(s.start).Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		slog.Debug("metrics write aborted", "err", err)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// buildinfoResp is the GET /buildinfo body.
+type buildinfoResp struct {
+	GoVersion string            `json:"go_version"`
+	Path      string            `json:"path"`
+	Module    string            `json:"module"`
+	Version   string            `json:"version"`
+	Settings  map[string]string `json:"settings,omitempty"`
+}
+
+func (s *server) handleBuildinfo(w http.ResponseWriter, _ *http.Request) {
+	resp := buildinfoResp{GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		resp.Path = bi.Path
+		resp.Module = bi.Main.Path
+		resp.Version = bi.Main.Version
+		// Surface the reproducibility-relevant settings only; the full list
+		// includes every -gcflags style knob and is mostly noise.
+		keep := map[string]bool{"vcs": true, "vcs.revision": true, "vcs.time": true, "vcs.modified": true, "GOARCH": true, "GOOS": true}
+		for _, kv := range bi.Settings {
+			if keep[kv.Key] {
+				if resp.Settings == nil {
+					resp.Settings = map[string]string{}
+				}
+				resp.Settings[kv.Key] = kv.Value
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// counted wraps a handler with its per-endpoint request counter.
+func (s *server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	c := s.httpReqs.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
+	}
 }
 
 // method guards a handler behind one HTTP method.

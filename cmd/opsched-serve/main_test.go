@@ -333,3 +333,96 @@ func TestTraceInput(t *testing.T) {
 		t.Fatalf("regular-file stdin (pipe shape): got %v, %v", rc, err)
 	}
 }
+
+// TestObservabilityEndpoints drives /metrics, /healthz and /buildinfo
+// through the real mux: the scrape renders valid Prometheus text carrying
+// the serve-process gauges and the per-endpoint request counters, health
+// flips from ok to draining, and buildinfo reports the Go toolchain.
+func TestObservabilityEndpoints(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reg := opsched.NewMetricsRegistry()
+	p, err := opsched.NewJobPipeline(ctx, opsched.PipelineConfig{
+		Cluster: opsched.Cluster{Nodes: 1},
+		Options: opsched.PlaceOptions{Obs: &opsched.Observer{Metrics: reg}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(p, reg)
+	mux := s.mux()
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+
+	if rec := get("/healthz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("/healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec := get("/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q, want Prometheus text v0.0.4", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE opsched_serve_goroutines gauge",
+		"opsched_serve_uptime_seconds",
+		`opsched_serve_http_requests_total{endpoint="healthz"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Every line is either a comment or name{labels} value — the shape a
+	// Prometheus scraper accepts.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	rec = get("/buildinfo")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/buildinfo = %d", rec.Code)
+	}
+	var bi struct {
+		GoVersion string `json:"go_version"`
+		Module    string `json:"module"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &bi); err != nil {
+		t.Fatalf("/buildinfo is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Errorf("buildinfo go_version = %q", bi.GoVersion)
+	}
+
+	s.drain()
+	if rec := get("/healthz"); !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("/healthz after drain = %q, want draining", rec.Body.String())
+	}
+	if _, err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetupLogging: the -log-level flag accepts the four slog names and
+// rejects junk.
+func TestSetupLogging(t *testing.T) {
+	for _, lvl := range []string{"debug", "info", "warn", "error"} {
+		if err := setupLogging(lvl); err != nil {
+			t.Errorf("level %q rejected: %v", lvl, err)
+		}
+	}
+	if err := setupLogging("chatty"); err == nil {
+		t.Error("bogus level accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format v0.0.4: `# HELP` / `# TYPE` headers, one sample line
+// per child, histograms as cumulative `_bucket{le=...}` series plus
+// `_sum` and `_count`. Families and label tuples are emitted in sorted
+// order, so two registries holding identical values render byte-identical
+// text — the same determinism discipline as the engine's reports.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.families() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, c := range f.snapshotChildren() {
+			labels := renderLabels(f.labelKeys, c.labelVals)
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labels, c.c.Value())
+			case typeGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labels, formatFloat(c.g.Value()))
+			case typeHistogram:
+				writeHistogram(&b, f, c, labels)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PrometheusText is WritePrometheus into a string.
+func (r *Registry) PrometheusText() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}
+
+// writeHistogram renders one histogram child: cumulative buckets through
+// +Inf, then the sum and sample count.
+func writeHistogram(b *strings.Builder, f *family, c *child, labels string) {
+	h := c.h
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+			appendLabel(f.labelKeys, c.labelVals, "le", formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+		appendLabel(f.labelKeys, c.labelVals, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, labels, h.Count())
+}
+
+// renderLabels renders `{k="v",...}` or "" for an unlabeled child.
+func renderLabels(keys, vals []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, vals[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// appendLabel renders the labels with one extra pair (the histogram's le).
+func appendLabel(keys, vals []string, extraK, extraV string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, vals[i])
+	}
+	if len(keys) > 0 {
+		b.WriteByte(',')
+	}
+	fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline. Label values
+// go through %q in the renderers, whose Go escaping covers the
+// exposition format's backslash / quote / newline rules for the simple
+// identifier-shaped values this registry carries.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest exact
+// decimal, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -130,6 +130,11 @@ type Pipeline struct {
 	inClosed bool
 
 	met *liveMetrics
+	// po holds the pre-bound pipeline instruments when Config.Options.Obs
+	// carries a metrics registry; nil disables them (stages pay one nil
+	// check per message). Engine-level instruments attach inside
+	// place.NewEngine from the same Observer.
+	po *pipeObs
 
 	// grantBuf is the recycled node-view snapshot the grant/pick handshake
 	// carries. The handshake is strictly serialized — execution blocks on
@@ -177,6 +182,9 @@ func New(ctx context.Context, cfg Config) (*Pipeline, error) {
 		in:   make(chan stageMsg, cfg.buffer()),
 		met:  newLiveMetrics(),
 		done: make(chan struct{}),
+	}
+	if reg := cfg.Options.Obs.MetricsOrNil(); reg != nil {
+		p.po = newPipeObs(reg)
 	}
 	for i := range p.stageDone {
 		p.stageDone[i] = make(chan struct{})

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"opsched/internal/place"
 )
@@ -26,6 +27,9 @@ func (p *Pipeline) admission(in <-chan stageMsg, out chan<- stageMsg) {
 			}
 			return
 		}
+		if p.po != nil {
+			p.po.depthSubmit.Set(float64(len(in)))
+		}
 		switch m.flag {
 		case flagTick:
 			if m.tickNs > clockNs {
@@ -35,6 +39,13 @@ func (p *Pipeline) admission(in <-chan stageMsg, out chan<- stageMsg) {
 				return
 			}
 		case flagJob:
+			// Stage latency includes the downstream send: a blocked send
+			// is this stage's backpressure, and the histogram should see it.
+			var t0 time.Time
+			if p.po != nil {
+				t0 = time.Now()
+				p.po.submitted.Inc()
+			}
 			i := seq
 			seq++
 			p.met.noteSubmitted()
@@ -43,16 +54,25 @@ func (p *Pipeline) admission(in <-chan stageMsg, out chan<- stageMsg) {
 				if !sendMsg(p.ctx, out, stageMsg{flag: flagReject, seq: i, err: err}) {
 					return
 				}
+				if p.po != nil {
+					p.po.admissionNs.Observe(float64(time.Since(t0)))
+				}
 				continue
 			}
 			if j.ArrivalNs < clockNs {
 				j.ArrivalNs = clockNs
 				p.met.noteClamped()
+				if p.po != nil {
+					p.po.clamped.Inc()
+				}
 			} else {
 				clockNs = j.ArrivalNs
 			}
 			if !sendMsg(p.ctx, out, stageMsg{flag: flagJob, seq: i, spec: j}) {
 				return
+			}
+			if p.po != nil {
+				p.po.admissionNs.Observe(float64(time.Since(t0)))
 			}
 		}
 	}
@@ -73,6 +93,9 @@ func (p *Pipeline) placement(in <-chan stageMsg, out chan<- stageMsg, grants <-c
 		if !ok {
 			return
 		}
+		if p.po != nil {
+			p.po.depthAdmission.Set(float64(len(in)))
+		}
 		switch m.flag {
 		case flagEnd:
 			sendMsg(p.ctx, out, m)
@@ -89,7 +112,16 @@ func (p *Pipeline) placement(in <-chan stageMsg, out chan<- stageMsg, grants <-c
 			if !ok {
 				return
 			}
+			// Time the pure policy decision — the handshake waits measure
+			// execution, not this stage.
+			var t0 time.Time
+			if p.po != nil {
+				t0 = time.Now()
+			}
 			node := p.pol.Pick(g.spec, g.nowNs, g.views)
+			if p.po != nil {
+				p.po.placementNs.Observe(float64(time.Since(t0)))
+			}
 			if !sendMsg(p.ctx, picks, pickMsg{node: node}) {
 				return
 			}
@@ -122,6 +154,9 @@ func (p *Pipeline) execution(in <-chan stageMsg, grants chan<- grantMsg, picks <
 		if !ok {
 			return
 		}
+		if p.po != nil {
+			p.po.depthPlacement.Set(float64(len(in)))
+		}
 		switch m.flag {
 		case flagReject:
 			if !sendMsg(p.ctx, out, evMsg{kind: evRejected}) {
@@ -133,6 +168,12 @@ func (p *Pipeline) execution(in <-chan stageMsg, grants chan<- grantMsg, picks <
 				p.fail(err)
 				return
 			}
+			// Refresh the engine's sampled gauges (wave-memo counters,
+			// shard queues) so a live scrape between ticks sees them.
+			eng.ObsSample()
+			if p.po != nil {
+				p.po.ticks.Inc()
+			}
 			if !emit(fins) {
 				return
 			}
@@ -140,6 +181,10 @@ func (p *Pipeline) execution(in <-chan stageMsg, grants chan<- grantMsg, picks <
 				return
 			}
 		case flagJob:
+			var t0 time.Time
+			if p.po != nil {
+				t0 = time.Now()
+			}
 			at := m.spec.ArrivalNs
 			for {
 				evNs, has := eng.NextEventNs()
@@ -180,6 +225,9 @@ func (p *Pipeline) execution(in <-chan stageMsg, grants chan<- grantMsg, picks <
 			if !sendMsg(p.ctx, out, evMsg{kind: evPlaced, atNs: at}) {
 				return
 			}
+			if p.po != nil {
+				p.po.executionNs.Observe(float64(time.Since(t0)))
+			}
 		case flagEnd:
 			for eng.Completed() < eng.Admitted() {
 				if _, has := eng.NextEventNs(); !has {
@@ -214,18 +262,32 @@ func (p *Pipeline) metricsStage(in <-chan evMsg) {
 		if !ok || m.flag == flagEnd {
 			return
 		}
+		var t0 time.Time
+		if p.po != nil {
+			p.po.depthEvents.Set(float64(len(in)))
+			t0 = time.Now()
+		}
 		switch m.kind {
 		case evRejected:
 			p.met.noteRejected()
+			if p.po != nil {
+				p.po.rejected.Inc()
+			}
 		case evPlaced:
 			p.met.notePlaced(m.atNs)
 		case evTick:
 			p.met.noteNow(m.atNs)
 		case evCompleted:
 			n := p.met.noteCompleted(m.job)
+			if p.po != nil {
+				p.po.completed.Inc()
+			}
 			if p.cfg.SnapshotEvery > 0 && n%p.cfg.SnapshotEvery == 0 && p.cfg.OnSnapshot != nil {
 				p.cfg.OnSnapshot(p.met.Snapshot())
 			}
+		}
+		if p.po != nil {
+			p.po.metricsNs.Observe(float64(time.Since(t0)))
 		}
 	}
 }

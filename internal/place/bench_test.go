@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"opsched/internal/nn"
+	"opsched/internal/obs"
 )
 
 // BenchmarkPlaceLargeStream is the scale-hardening benchmark: a ≥1000-job
@@ -67,6 +68,28 @@ func BenchmarkPlaceHuge(b *testing.B) {
 			}
 			b.ReportMetric(float64(tc.jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 		})
+	}
+}
+
+// BenchmarkPlaceLargeStreamObs is BenchmarkPlaceLargeStream's 1000×8 case
+// with the full observability layer attached — metrics registry and
+// tracer both live. Its distance from the obs-off numbers is the recorded
+// cost of observing; the obs-off benchmarks themselves are gated at zero
+// added allocations, so this one exists to keep the enabled cost visible,
+// not to bound it.
+func BenchmarkPlaceLargeStreamObs(b *testing.B) {
+	w := MustSynthetic(1000, 7, []string{nn.LSTM, nn.DCGAN}, 1e5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := &obs.Observer{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer()}
+		res, err := PlaceJobs(w, Cluster{GPUs: 8}, Options{Policy: "model-aware", Obs: o})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Jobs) != 1000 || o.Tracer.Len() == 0 {
+			b.Fatalf("placed %d jobs, traced %d events", len(res.Jobs), o.Tracer.Len())
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"opsched/internal/cluster"
 	"opsched/internal/core"
@@ -15,6 +16,7 @@ import (
 	"opsched/internal/hw"
 	"opsched/internal/multijob"
 	"opsched/internal/nn"
+	"opsched/internal/obs"
 	"opsched/internal/preempt"
 )
 
@@ -240,6 +242,18 @@ type Engine struct {
 	admittedBuf map[int]bool
 	viewBuf     []NodeView
 	snapBuf     []preempt.NodeSnapshot
+
+	// Observability (Options.Obs): tr collects virtual-time trace events,
+	// eo holds the pre-bound metric instruments. Both nil when disabled —
+	// every emission site guards on that, so the disabled engine pays one
+	// nil check and zero allocations. flowID carries each preempted job's
+	// pending migration-flow id until its relaunch binds the arrow;
+	// occName caches the per-node occupancy counter-track names. Both are
+	// maintained only while tr != nil.
+	tr      *obs.Tracer
+	eo      *engineObs
+	flowID  []int64
+	occName []string
 }
 
 // NewEngine builds an open placement engine over the cluster: runtimes
@@ -335,6 +349,7 @@ func NewEngine(c Cluster, opts Options) (*Engine, error) {
 	if e.idxW < 2 {
 		e.idxW = 2
 	}
+	e.attachObs(opts.Obs)
 	return e, nil
 }
 
@@ -386,6 +401,15 @@ func (e *Engine) Admit(j JobSpec) (int, error) {
 		e.anyInference = true
 	}
 	e.workKeys = append(e.workKeys, key)
+	if e.eo != nil {
+		e.eo.admitted.Inc()
+	}
+	if e.tr != nil {
+		e.flowID = append(e.flowID, 0)
+		e.tr.AsyncBegin(obsPidJobs, int64(ji), j.Name, "job", j.ArrivalNs,
+			obs.A("model", j.Model), obs.A("class", j.EffectiveClass()),
+			obs.A("steps", e.steps[ji]))
+	}
 	return ji, nil
 }
 
@@ -415,6 +439,9 @@ func (e *Engine) ProcessNextEvent() ([]int, error) {
 	// path finds them already in the wave memo.
 	e.maybeSpeculate(t)
 	e.si.pop(node) // consume the peeked (valid) entry
+	if e.eo != nil {
+		e.eo.events.Inc()
+	}
 	if e.nodes[node].wave != nil {
 		return e.finishRound(node)
 	}
@@ -468,7 +495,7 @@ func (e *Engine) Finish() *Result {
 	out := &Result{
 		Policy: e.pol.Name(), Arbiter: e.arb.Name(), Nodes: len(e.nodes),
 		Fleet: fleetDescription(e.rts), Jobs: e.placed,
-		Preempt: preemptSpecName(e.preemptOn, e.triggers), TriggerFirings: e.firings,
+		Preempt: preempt.SpecName(e.preemptOn, e.triggers), TriggerFirings: e.firings,
 	}
 	for i, ns := range e.nodes {
 		out.NodeStats = append(out.NodeStats, NodeStats{
@@ -477,22 +504,13 @@ func (e *Engine) Finish() *Result {
 		})
 	}
 	out.finalize()
+	if e.eo != nil {
+		// Seal the sampled instruments and attach the registry's final
+		// exposition to the Result — a diagnostic rider, never rendered.
+		e.ObsSample()
+		out.MetricsDump = e.eo.reg.PrometheusText()
+	}
 	return out
-}
-
-// preemptSpecName canonicalizes the run's preemption configuration.
-func preemptSpecName(on bool, ts []preempt.Trigger) string {
-	if !on {
-		return "off"
-	}
-	if len(ts) == 0 {
-		return "none"
-	}
-	names := make([]string, len(ts))
-	for i, t := range ts {
-		names[i] = t.Name()
-	}
-	return strings.Join(names, "+")
 }
 
 // info caches per-model graph, parameter payload and staging transfer.
@@ -662,15 +680,26 @@ func (e *Engine) jobWorkPerRuntime(ji int) []float64 {
 // built into an engine-owned scratch slice; policies see them only for the
 // duration of Pick and must not retain them.
 func (e *Engine) PlaceAuto(ji int, at float64) error {
-	if n, ok := e.fusedPick(ji, at); ok {
-		return e.Place(ji, n, at)
+	// Wall-clock scan timing is observability-only: it is read solely when
+	// metrics are attached and never feeds the virtual clock, so it cannot
+	// perturb a decision.
+	var scanT0 time.Time
+	if e.eo != nil {
+		scanT0 = time.Now()
 	}
-	if cap(e.viewBuf) < len(e.nodes) {
-		e.viewBuf = make([]NodeView, len(e.nodes))
+	n, ok := e.fusedPick(ji, at)
+	if !ok {
+		if cap(e.viewBuf) < len(e.nodes) {
+			e.viewBuf = make([]NodeView, len(e.nodes))
+		}
+		vs := e.viewBuf[:len(e.nodes)]
+		e.ViewsInto(ji, at, vs)
+		n = e.pol.Pick(e.specs[ji], at, vs)
 	}
-	vs := e.viewBuf[:len(e.nodes)]
-	e.ViewsInto(ji, at, vs)
-	return e.Place(ji, e.pol.Pick(e.specs[ji], at, vs), at)
+	if e.eo != nil {
+		e.eo.placeScanNs.Observe(float64(time.Since(scanT0)))
+	}
+	return e.Place(ji, n, at)
 }
 
 // Place stages admitted job ji on the chosen node at its arrival instant
@@ -701,6 +730,13 @@ func (e *Engine) Place(ji, n int, at float64) error {
 	e.si.queueDelta(n, 1, work)
 	if e.readyNs[ji] < ns.minReadyNs {
 		ns.minReadyNs = e.readyNs[ji]
+	}
+	if e.eo != nil {
+		e.obsShardGauges(n)
+	}
+	if e.tr != nil {
+		e.tr.AsyncInstant(obsPidJobs, int64(ji), "place", "job", at,
+			obs.A("node", n), obs.A("kind", ns.rt.Kind()))
 	}
 	e.push(n)
 	e.fireTriggers(ji, n, at)
@@ -737,6 +773,13 @@ func (e *Engine) fireTriggers(ji, node int, at float64) {
 				// and migrations price the node as freeing there.
 				w.drainNs = w.roundEndNs
 				e.firings++
+				if e.eo != nil {
+					e.eo.firings.With(tr.Name()).Inc()
+				}
+				if e.tr != nil {
+					e.tr.Instant(obsPidNodes, idx, tr.Name(), "trigger", at,
+						obs.A("arrival", sp.Name), obs.A("wave", w.ord))
+				}
 			}
 		}
 	}
@@ -952,6 +995,13 @@ func (e *Engine) launchWave(n int, startNs float64) error {
 	w := &waveState{ord: ns.waves, active: admit, batch: batch}
 	ns.wave = w
 	ns.waves++
+	if e.eo != nil {
+		e.eo.waveLaunches.Inc()
+		e.obsShardGauges(n) // admitWave rebuilt the shard's queue aggregates
+	}
+	if e.tr != nil {
+		e.tr.CounterEvent(obsPidNodes, n, e.occName[n], startNs, obs.A("jobs", len(admit)))
+	}
 	launch := func(ji, batched int) {
 		// A job counts toward a node's executed jobs once per node it
 		// runs on: a checkpoint resuming where it was preempted is not a
@@ -971,6 +1021,14 @@ func (e *Engine) launchWave(n int, startNs float64) error {
 		if e.checkpointNs[ji] >= 0 {
 			p.DisruptionNs += startNs - e.checkpointNs[ji]
 			e.checkpointNs[ji] = -1
+			if e.tr != nil && e.flowID[ji] != 0 {
+				// Bind the migration arrow started at the preemption to
+				// this relaunch, and mark the resume on the job's span.
+				e.tr.FlowEnd(obsPidNodes, n, e.flowID[ji], "migrate", "preempt", startNs)
+				e.tr.AsyncInstant(obsPidJobs, int64(ji), "resume", "job", startNs,
+					obs.A("node", n))
+				e.flowID[ji] = 0
+			}
 		}
 	}
 	for _, ji := range admit {
@@ -1066,6 +1124,13 @@ func (e *Engine) finishRound(n int) ([]int, error) {
 	ns := e.nodes[n]
 	w := ns.wave
 	t := w.roundEndNs
+	if e.eo != nil {
+		e.eo.waveRounds.Inc()
+	}
+	if e.tr != nil {
+		e.tr.Complete(obsPidNodes, n, fmt.Sprintf("wave %d", w.ord), "wave",
+			w.roundStartNs, t-w.roundStartNs, obs.A("jobs", len(w.active)))
+	}
 	var remain, finished []int
 	for k, ji := range w.active {
 		jr := w.res.Jobs[k]
@@ -1085,6 +1150,9 @@ func (e *Engine) finishRound(n int) ([]int, error) {
 			p.SLOMet = p.SLONs > 0 && p.FinishNs <= p.ArrivalNs+p.SLONs
 			e.completed++
 			finished = append(finished, ji)
+			if e.eo != nil || e.tr != nil {
+				e.obsComplete(ji, p)
+			}
 			// A dynamic batch's followers rode this slot's forward step:
 			// they finish with their leader, sharing its wave outcome.
 			for _, fj := range w.batch[ji] {
@@ -1101,6 +1169,9 @@ func (e *Engine) finishRound(n int) ([]int, error) {
 				fp.SLOMet = fp.SLONs > 0 && fp.FinishNs <= fp.ArrivalNs+fp.SLONs
 				e.completed++
 				finished = append(finished, fj)
+				if e.eo != nil || e.tr != nil {
+					e.obsComplete(fj, fp)
+				}
 			}
 		} else {
 			// Lockstep: the job waits out the round before its next step.
@@ -1112,10 +1183,16 @@ func (e *Engine) finishRound(n int) ([]int, error) {
 	case len(remain) == 0:
 		ns.wave = nil
 		ns.freeNs = t
+		if e.tr != nil {
+			e.tr.CounterEvent(obsPidNodes, n, e.occName[n], t, obs.A("jobs", 0))
+		}
 		e.push(n)
 	case w.cut:
 		ns.wave = nil
 		ns.freeNs = t
+		if e.tr != nil {
+			e.tr.CounterEvent(obsPidNodes, n, e.occName[n], t, obs.A("jobs", 0))
+		}
 		e.checkpointWave(n, remain, t)
 		e.push(n)
 	default:
@@ -1133,6 +1210,9 @@ func (e *Engine) finishRound(n int) ([]int, error) {
 			return finished, nil
 		}
 		w.active = remain
+		if e.tr != nil {
+			e.tr.CounterEvent(obsPidNodes, n, e.occName[n], t, obs.A("jobs", len(remain)))
+		}
 		return finished, e.runRound(n, t)
 	}
 	return finished, nil
@@ -1173,6 +1253,22 @@ func (e *Engine) checkpointWave(from int, remain []int, t float64) {
 			p.Migrations++
 			e.path[ji] = append(e.path[ji], e.pathSeg(tgt))
 		}
+		if e.eo != nil {
+			e.eo.preemptions.Inc()
+			if tgt != from {
+				e.eo.migrations.Inc()
+			}
+		}
+		if e.tr != nil {
+			// One flow arrow per preemption: started here on the node the
+			// job left, bound at its relaunch (launchWave ends it).
+			id := e.tr.NextID()
+			e.flowID[ji] = id
+			e.tr.AsyncInstant(obsPidJobs, int64(ji), "preempt", "job", t,
+				obs.A("from", from), obs.A("to", tgt),
+				obs.A("steps_done", e.done[ji]))
+			e.tr.FlowStart(obsPidNodes, from, id, "migrate", "preempt", t)
+		}
 		tn := e.nodes[tgt]
 		p.Node = tgt
 		p.Kind = tn.rt.Kind()
@@ -1184,6 +1280,9 @@ func (e *Engine) checkpointWave(from int, remain []int, t float64) {
 		e.si.queueDelta(tgt, 1, targets[tgt].WorkNs)
 		if e.readyNs[ji] < tn.minReadyNs {
 			tn.minReadyNs = e.readyNs[ji]
+		}
+		if e.eo != nil {
+			e.obsShardGauges(tgt)
 		}
 		e.push(tgt)
 	}

@@ -48,6 +48,7 @@ import (
 	"opsched/internal/gpu"
 	"opsched/internal/hw"
 	"opsched/internal/nn"
+	"opsched/internal/obs"
 )
 
 // JobSpec is one job in the workload stream entering the cluster.
@@ -403,6 +404,15 @@ type Options struct {
 	// node) order and the placement reduction is associative with the
 	// serial tie-breaks — which the determinism gates enforce.
 	Workers int
+	// Obs attaches the observability layer: a metrics registry the engine
+	// records its instruments into, and/or a virtual-time tracer
+	// collecting job-lifecycle and wave events for Chrome trace export.
+	// nil (the default) disables observability entirely — the engine then
+	// pays one nil check per emission point and allocates nothing extra —
+	// and an attached Observer only ever records: reports stay
+	// byte-identical with observability on, off, and at any worker/shard
+	// count, which the determinism gates enforce.
+	Obs *obs.Observer
 }
 
 // workers is the effective engine parallelism after defaulting.
@@ -580,6 +590,12 @@ type Result struct {
 	Jobs []PlacedJob
 	// NodeStats holds per-node usage in node-index order.
 	NodeStats []NodeStats
+	// MetricsDump is the attached metrics registry rendered as Prometheus
+	// text at seal time — empty when the run had no Options.Obs metrics.
+	// It is a diagnostic attachment, deliberately excluded from Render():
+	// wall-clock histograms make it run-dependent, and the rendered
+	// report must stay byte-identical with observability on and off.
+	MetricsDump string
 }
 
 // jainIndex is Jain's fairness index (sum x)^2 / (n * sum x^2).

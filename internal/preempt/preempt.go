@@ -276,6 +276,26 @@ func NewTrigger(name string) (Trigger, error) {
 	}
 }
 
+// SpecName canonicalizes a parsed preemption configuration back to its
+// report spelling: "off" when preemption is disabled, "none" for the
+// armed-but-empty trigger set, else the "+"-joined trigger names. It is
+// the inverse rendering of ParseTriggers, shared by the engine's Result
+// and the observability layer so trigger labels and report strings never
+// drift apart.
+func SpecName(enabled bool, ts []Trigger) string {
+	if !enabled {
+		return "off"
+	}
+	if len(ts) == 0 {
+		return "none"
+	}
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name()
+	}
+	return strings.Join(names, "+")
+}
+
 // ParseTriggers resolves a preemption spec to a trigger set. "" and "off"
 // disable preemption entirely (enabled == false); "none" enables the
 // preemptive engine with an empty trigger set — the zero-firing

@@ -10,6 +10,7 @@ import (
 	"opsched/internal/gpu"
 	"opsched/internal/hw"
 	"opsched/internal/nn"
+	"opsched/internal/obs"
 	"opsched/internal/pipeline"
 	"opsched/internal/place"
 )
@@ -75,6 +76,12 @@ type ClusterGrid struct {
 	// Config is the per-job runtime configuration; nil means the full
 	// strategy set (AllStrategies).
 	Config *core.Config
+	// Obs attaches an observability sink to every cell's engine; nil (the
+	// default) disables it. The metrics registry's instruments are atomic,
+	// so a parallel sweep aggregates across cells safely; a Tracer only
+	// yields a deterministic timeline on a single-cell grid, since cells
+	// interleave their emissions in completion order.
+	Obs *obs.Observer
 }
 
 func (g ClusterGrid) workloads() []NamedWorkload {
@@ -169,7 +176,8 @@ func (g ClusterGrid) points() []clusterPoint {
 								c: place.Cluster{Nodes: size, Machine: g.Machine,
 									GPUs: gcount, GPU: g.GPU, Interconnect: g.Interconnect},
 								opts: place.Options{Policy: pol, Arbiter: g.Arbiter,
-									Config: g.Config, Preempt: preemptOpt(pre), Workers: g.Workers},
+									Config: g.Config, Preempt: preemptOpt(pre), Workers: g.Workers,
+									Obs: g.Obs},
 							})
 						}
 					}

@@ -1,0 +1,95 @@
+// Ordering audit for the op-level event log: the executor retires
+// completions strictly by virtual clock, so a recorded trace must be
+// globally non-decreasing in ClockNs, and per operation the Launch must
+// precede the Finish — the invariants the Chrome exporter and Figure-4
+// plotting both lean on. External test package: exec imports trace, so
+// driving real executions from inside package trace would cycle.
+package trace_test
+
+import (
+	"testing"
+
+	"opsched/internal/exec"
+	"opsched/internal/graph"
+	"opsched/internal/hw"
+	"opsched/internal/nn"
+	"opsched/internal/trace"
+)
+
+func runTraced(t *testing.T, g *graph.Graph) *trace.Trace {
+	t.Helper()
+	m := hw.NewKNL()
+	res, err := exec.Run(g, exec.Recommendation(m), exec.Options{Machine: m, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Len() == 0 {
+		t.Fatalf("traced run of %s recorded no events", g.Name)
+	}
+	return res.Trace
+}
+
+func checkOrdering(t *testing.T, tr *trace.Trace, ops int) {
+	t.Helper()
+	events := tr.Events()
+	launched := map[graph.NodeID]float64{}
+	finished := map[graph.NodeID]bool{}
+	prev := 0.0
+	for i, e := range events {
+		if e.ClockNs < prev {
+			t.Fatalf("event %d (%v %v) at clock %v after clock %v — log runs backwards",
+				i, e.Type, e.Node, e.ClockNs, prev)
+		}
+		prev = e.ClockNs
+		if e.CoRunning < 0 {
+			t.Fatalf("event %d has negative co-running count %d", i, e.CoRunning)
+		}
+		switch e.Type {
+		case trace.Launch:
+			if _, dup := launched[e.Node]; dup {
+				t.Fatalf("node %v launched twice", e.Node)
+			}
+			launched[e.Node] = e.ClockNs
+		case trace.Finish:
+			at, ok := launched[e.Node]
+			if !ok {
+				t.Fatalf("node %v finished without launching", e.Node)
+			}
+			if finished[e.Node] {
+				t.Fatalf("node %v finished twice", e.Node)
+			}
+			if e.ClockNs < at {
+				t.Fatalf("node %v finished at %v before its launch at %v", e.Node, e.ClockNs, at)
+			}
+			finished[e.Node] = true
+		}
+	}
+	if len(launched) != ops || len(finished) != ops {
+		t.Fatalf("%d launches / %d finishes for %d ops", len(launched), len(finished), ops)
+	}
+}
+
+// TestTraceOrderingModels audits the log over every built-in model's full
+// training step — wide fork-join graphs where many ops complete at the
+// same virtual instant, the case most likely to scramble ordering.
+func TestTraceOrderingModels(t *testing.T) {
+	for _, name := range nn.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := nn.MustBuild(name)
+			tr := runTraced(t, m.Graph)
+			checkOrdering(t, tr, m.Graph.Len())
+		})
+	}
+}
+
+// TestTraceOrderingInference audits a forward-only serving graph, whose
+// short critical path exercises the simultaneous-completion drain.
+func TestTraceOrderingInference(t *testing.T) {
+	m, err := nn.BuildInference(nn.DCGAN, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := runTraced(t, m.Graph)
+	checkOrdering(t, tr, m.Graph.Len())
+}

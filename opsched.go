@@ -40,6 +40,7 @@ import (
 	"opsched/internal/hw"
 	"opsched/internal/multijob"
 	"opsched/internal/nn"
+	"opsched/internal/obs"
 	"opsched/internal/perfmodel"
 	"opsched/internal/pipeline"
 	"opsched/internal/place"
@@ -475,6 +476,52 @@ type JobSource = pipeline.Source
 // virtual-time result is the same whatever the speed.
 func ReplayTrace(ctx context.Context, cfg PipelineConfig, src JobSource, speed float64) (*PlacementResult, error) {
 	return pipeline.Replay(ctx, cfg, src, speed)
+}
+
+// Observer bundles the two observability sinks a run may attach through
+// PlaceOptions.Obs (or PipelineConfig.Options.Obs): a metrics registry
+// and/or a virtual-time scheduler tracer. Either field may be nil; a nil
+// Observer (the default) disables observability entirely, and an attached
+// one only records — rendered reports stay byte-identical with it on, off,
+// and at any worker or shard count.
+type Observer = obs.Observer
+
+// MetricsRegistry is a lock-sharded registry of counters, gauges and
+// histograms; WritePrometheus/PrometheusText render it in Prometheus text
+// exposition format with deterministically sorted families and labels.
+type MetricsRegistry = obs.Registry
+
+// SchedTracer records job-lifecycle spans, per-node wave occupancy and
+// trigger firings in the engine's virtual clock; WriteChromeTrace exports
+// the log as Chrome trace-event JSON loadable in Perfetto (nodes as
+// tracks, jobs as async spans, preemption→migration flows).
+type SchedTracer = obs.Tracer
+
+// MetricsCounter is a monotonically increasing counter instrument.
+type MetricsCounter = obs.Counter
+
+// MetricsGauge is a set-to-current-value gauge instrument.
+type MetricsGauge = obs.Gauge
+
+// MetricsHistogram is a fixed-bucket histogram instrument.
+type MetricsHistogram = obs.Histogram
+
+// MetricsCounterVec is a counter family keyed by label values.
+type MetricsCounterVec = obs.CounterVec
+
+// MetricsGaugeVec is a gauge family keyed by label values.
+type MetricsGaugeVec = obs.GaugeVec
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSchedTracer returns an empty scheduler tracer.
+func NewSchedTracer() *SchedTracer { return obs.NewTracer() }
+
+// NewObserver returns an Observer carrying both a fresh metrics registry
+// and a fresh tracer — the everything-on configuration.
+func NewObserver() *Observer {
+	return &obs.Observer{Metrics: obs.NewRegistry(), Tracer: obs.NewTracer()}
 }
 
 // TraceReader streams a Philly/Helios-style CSV job trace one row at a

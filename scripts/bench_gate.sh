@@ -5,7 +5,12 @@
 # file, and fails on any gated benchmark that regressed past its
 # allowance. ns/op regresses upward, jobs/s regresses downward; both gates
 # share one allowance per benchmark, so a slowdown cannot hide behind
-# whichever metric the tolerance file happened to name.
+# whichever metric the tolerance file happened to name. Benchmarks that
+# report allocs/op in both artifacts are additionally gated on allocation
+# count: "allocs <name-prefix> <pct>" rules set that allowance (no rule
+# means allocations are ungated). An "allocs" rule of 0 means the head may
+# not allocate more than the base at all — how the observability layer's
+# zero-allocations-when-disabled contract is enforced on the hot path.
 #
 # Usage: scripts/bench_gate.sh <base.json> <head.json> [tolerance-file]
 #        (tolerance file defaults to .github/bench-tolerance.txt)
@@ -14,6 +19,7 @@
 #   default <pct>            # allowance for every benchmark without a rule
 #   <name-prefix> <pct>      # allowance for benchmarks matching the prefix
 #                            # (first matching rule wins)
+#   allocs <name-prefix> <pct>  # allocs/op allowance (unlisted = ungated)
 #
 # Benchmarks present only in head are reported as new and skipped — a PR
 # that introduces a benchmark cannot regress against a base that lacks it.
@@ -28,10 +34,10 @@ default=$(awk '!/^#/ && $1 == "default" { print $2; exit }' "$tol")
 [ -n "$default" ] || default=15
 
 tmp=$(mktemp)
-jq -r '.benchmarks[] | "\(.name) \(.ns_per_op) \(.jobs_per_s // "-")"' "$head" >"$tmp"
+jq -r '.benchmarks[] | "\(.name) \(.ns_per_op) \(.jobs_per_s // "-") \(.allocs_per_op // "-")"' "$head" >"$tmp"
 
 fail=0
-while read -r name headns headjobs; do
+while read -r name headns headjobs headallocs; do
 	basens=$(jq -r --arg n "$name" \
 		'[.benchmarks[] | select(.name == $n) | .ns_per_op] | first // empty' "$base")
 	if [ -z "$basens" ]; then
@@ -55,6 +61,33 @@ while read -r name headns headjobs; do
 		echo "ok    $name: $verdict"
 		;;
 	esac
+	# Allocation gate: only for benchmarks with an "allocs" tolerance rule
+	# and allocs/op in both artifacts. A 0% allowance means the head may
+	# not allocate more per op than the base, period.
+	if [ "$headallocs" != "-" ]; then
+		allocallow=$(awk -v name="$name" '
+			!/^#/ && $1 == "allocs" && NF >= 3 && index(name, $2) == 1 { print $3; exit }' "$tol")
+		if [ -n "$allocallow" ]; then
+			baseallocs=$(jq -r --arg n "$name" \
+				'[.benchmarks[] | select(.name == $n) | .allocs_per_op] | first // empty' "$base")
+			if [ -n "$baseallocs" ] && [ "$baseallocs" != "null" ]; then
+				verdict=$(awk -v b="$baseallocs" -v h="$headallocs" -v t="$allocallow" 'BEGIN {
+					pct = (b > 0 ? (h - b) / b * 100 : (h > 0 ? 100 : 0))
+					printf "%+.1f%% (base %d allocs/op, head %d allocs/op, allowance %s%%) %s",
+						pct, b, h, t, (pct > t + 0 ? "FAIL" : "ok")
+				}')
+				case "$verdict" in
+				*FAIL)
+					echo "FAIL  $name [allocs/op]: $verdict"
+					fail=1
+					;;
+				*)
+					echo "ok    $name [allocs/op]: $verdict"
+					;;
+				esac
+			fi
+		fi
+	fi
 	# Throughput gate: only for benchmarks reporting jobs/s in both
 	# artifacts; a drop past the same allowance fails.
 	[ "$headjobs" = "-" ] && continue
